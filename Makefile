@@ -1,0 +1,44 @@
+# Development targets. Everything is stdlib-only; `go` >= 1.22 suffices.
+
+.PHONY: all build vet test race bench lab lab-quick examples cover fuzz
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation (see EXPERIMENTS.md).
+lab:
+	go run ./cmd/batcherlab all
+
+lab-quick:
+	go run ./cmd/batcherlab -quick all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/dijkstra
+	go run ./examples/indexer
+	go run ./examples/racedetect
+	go run ./examples/goroutines
+	go run ./examples/boruvka
+	go run ./examples/simscaling
+
+cover:
+	go test -cover ./internal/...
+
+# Short fuzzing passes over the property-based fuzz targets.
+fuzz:
+	go test -fuzz=FuzzTreeAgainstMap -fuzztime=30s ./internal/ds/tree23/
+	go test -fuzz=FuzzSeqAgainstMap -fuzztime=30s ./internal/ds/skiplist/

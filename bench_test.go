@@ -1,0 +1,421 @@
+package batcher_test
+
+// One benchmark per experiment in DESIGN.md's index. Simulator
+// benchmarks report model-time metrics (timesteps, throughput in
+// inserts-per-kilostep) via b.ReportMetric alongside wall time; the
+// Real* benchmarks time the goroutine-based runtime end to end. Regenerate
+// everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or per experiment, e.g. go test -bench=Fig5Sim.
+
+import (
+	"fmt"
+	"testing"
+
+	"sync"
+
+	"batcher"
+	"batcher/internal/concurrent"
+	"batcher/internal/ds/counter"
+	"batcher/internal/ds/hashmap"
+	"batcher/internal/ds/omlist"
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/ds/stack"
+	"batcher/internal/ds/tree23"
+	"batcher/internal/experiments"
+	"batcher/internal/rng"
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+)
+
+// --- Fig5: skip-list insertion throughput, BATCHER vs SEQ (simulated) ---
+
+func fig5Workload(calls, records int) *sim.Graph {
+	g := sim.NewGraph(calls * 4)
+	ops := make([]*sim.Op, calls)
+	for i := range ops {
+		ops[i] = &sim.Op{Records: records}
+	}
+	g.ForkJoinDS(ops, 1, 1)
+	return g
+}
+
+func BenchmarkFig5Sim(b *testing.B) {
+	const calls, records = 1000, 100
+	for _, size := range []int64{20_000, 100_000, 1_000_000, 10_000_000, 100_000_000} {
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("size=%d/P=%d", size, p), func(b *testing.B) {
+				var last sim.Result
+				for i := 0; i < b.N; i++ {
+					s := sim.NewSim(sim.Config{Workers: p, Seed: 5},
+						&simds.SkipList{Size: size})
+					last = s.Run(fig5Workload(calls, records))
+				}
+				b.ReportMetric(1000*last.Throughput(calls*records), "inserts/kilostep")
+				b.ReportMetric(float64(last.Makespan), "timesteps")
+			})
+		}
+	}
+}
+
+func BenchmarkFig5SeqBaselineSim(b *testing.B) {
+	const calls, records = 1000, 100
+	for _, size := range []int64{20_000, 100_000_000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var t int64
+			for i := 0; i < b.N; i++ {
+				t = sim.SequentialTime(fig5Workload(calls, records), &simds.SkipList{Size: size})
+			}
+			b.ReportMetric(1000*float64(calls*records)/float64(t), "inserts/kilostep")
+		})
+	}
+}
+
+// --- Fig5-FC: flat combining comparison (simulated) ----------------------
+
+func BenchmarkFlatCombiningSim(b *testing.B) {
+	const calls, records = 1000, 100
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				s := sim.NewSim(sim.Config{Workers: p, Seed: 5, SeqBatches: true},
+					&simds.SkipList{Size: 100_000_000})
+				last = s.Run(fig5Workload(calls, records))
+			}
+			b.ReportMetric(1000*last.Throughput(calls*records), "inserts/kilostep")
+		})
+	}
+}
+
+// --- Fig5 real runtime: wall-clock skip-list insertion -------------------
+
+func BenchmarkFig5Real(b *testing.B) {
+	cfg := experiments.RealSkipListConfig{
+		Calls: 200, RecordsPer: 100, Initial: 100_000, Workers: 4, Seed: 11,
+	}
+	b.Run("engine=BATCHER", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RealSkipListBatcher(cfg)
+		}
+	})
+	b.Run("engine=SEQ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RealSkipListSeq(cfg)
+		}
+	})
+	b.Run("engine=mutex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RealSkipListMutex(cfg)
+		}
+	})
+	b.Run("engine=flatcombining", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RealSkipListFlatCombining(cfg)
+		}
+	})
+}
+
+// --- EX-counter: batched counter vs trivial atomic counter ---------------
+
+func BenchmarkCounterSim(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 1000)
+				for j := range ops {
+					ops[j] = &sim.Op{Records: 32}
+				}
+				g.ForkJoinDS(ops, 1, 1)
+				last = sim.NewSim(sim.Config{Workers: p, Seed: 7}, simds.Counter{}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+func BenchmarkCounterRealBatched(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 3})
+	for i := 0; i < b.N; i++ {
+		ctr := counter.New(0)
+		rt.Run(func(c *batcher.Ctx) {
+			c.For(0, 10_000, 1, func(cc *batcher.Ctx, j int) { ctr.Increment(cc, 1) })
+		})
+	}
+}
+
+func BenchmarkCounterRealAtomic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RealCounterAtomic(4, 10_000)
+	}
+}
+
+// --- EX-tree: batched 2-3 tree scaling (simulated + real) ----------------
+
+func BenchmarkTreeSim(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 2000)
+				for j := range ops {
+					ops[j] = &sim.Op{}
+				}
+				g.ForkJoinDS(ops, 1, 1)
+				last = sim.NewSim(sim.Config{Workers: p, Seed: 9},
+					&simds.Tree{Size: 1 << 20}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+func BenchmarkTreeRealBulkInsert(b *testing.B) {
+	r := rng.New(13)
+	keys := make([]int64, 20_000)
+	for i := range keys {
+		keys[i] = r.Int63()
+	}
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 13})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tree23.NewBatched()
+		rt.Run(func(c *batcher.Ctx) {
+			c.For(0, len(keys), 8, func(cc *batcher.Ctx, j int) {
+				t.Insert(cc, keys[j], 0)
+			})
+		})
+	}
+}
+
+func BenchmarkTreeSeqInsert(b *testing.B) {
+	r := rng.New(13)
+	keys := make([]int64, 20_000)
+	for i := range keys {
+		keys[i] = r.Int63()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tree23.NewTree()
+		for _, k := range keys {
+			t.Insert(k, 0)
+		}
+	}
+}
+
+// --- EX-stack: amortized stack (simulated + real) -------------------------
+
+func BenchmarkStackSim(b *testing.B) {
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 1000)
+				for j := range ops {
+					ops[j] = &sim.Op{Records: 32}
+				}
+				g.ForkJoinDS(ops, 1, 1)
+				last = sim.NewSim(sim.Config{Workers: p, Seed: 15}, &simds.Stack{}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+func BenchmarkStackRealPushPop(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 17})
+	for i := 0; i < b.N; i++ {
+		s := stack.New()
+		rt.Run(func(c *batcher.Ctx) {
+			c.For(0, 10_000, 1, func(cc *batcher.Ctx, j int) {
+				if j%2 == 0 {
+					s.Push(cc, int64(j))
+				} else {
+					s.Pop(cc)
+				}
+			})
+		})
+	}
+}
+
+// --- THM1: bound-validation sweep -----------------------------------------
+
+func BenchmarkBoundFit(b *testing.B) {
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.BoundFit(19)
+		r2 = res.Fit.R2
+	}
+	b.ReportMetric(r2, "R2")
+}
+
+// --- ABL: ablations ---------------------------------------------------------
+
+func BenchmarkAblateSteal(b *testing.B) {
+	for _, pc := range []struct {
+		name string
+		pol  sim.StealPolicy
+	}{
+		{"alternating", sim.PolicyAlternating},
+		{"core-only", sim.PolicyCoreOnly},
+		{"batch-only", sim.PolicyBatchOnly},
+		{"random", sim.PolicyRandom},
+	} {
+		b.Run("policy="+pc.name, func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 1000)
+				for j := range ops {
+					ops[j] = &sim.Op{Records: 4}
+				}
+				g.ForkJoinDS(ops, 20, 20)
+				last = sim.NewSim(sim.Config{Workers: 8, Seed: 21, Policy: pc.pol},
+					&simds.SkipList{Size: 1 << 20}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+func BenchmarkAblateBatchCap(b *testing.B) {
+	for _, cap := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 1000)
+				for j := range ops {
+					ops[j] = &sim.Op{Records: 4}
+				}
+				g.ForkJoinDS(ops, 20, 20)
+				last = sim.NewSim(sim.Config{Workers: 8, Seed: 23, BatchCap: cap},
+					&simds.SkipList{Size: 1 << 20}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+func BenchmarkAblateLaunchThreshold(b *testing.B) {
+	for _, th := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("threshold=%d", th), func(b *testing.B) {
+			var last sim.Result
+			for i := 0; i < b.N; i++ {
+				g := sim.NewGraph(1 << 13)
+				ops := make([]*sim.Op, 1000)
+				for j := range ops {
+					ops[j] = &sim.Op{Records: 4}
+				}
+				g.ForkJoinDS(ops, 20, 20)
+				last = sim.NewSim(sim.Config{Workers: 8, Seed: 25, LaunchThreshold: th},
+					&simds.SkipList{Size: 1 << 20}).Run(g)
+			}
+			b.ReportMetric(float64(last.Makespan), "timesteps")
+		})
+	}
+}
+
+// --- runtime micro-benchmarks ----------------------------------------------
+
+func BenchmarkRuntimeForkJoin(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 27})
+	for i := 0; i < b.N; i++ {
+		rt.Run(func(c *batcher.Ctx) {
+			c.For(0, 10_000, 64, func(*batcher.Ctx, int) {})
+		})
+	}
+}
+
+func BenchmarkBatchifyRoundTrip(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 1, Seed: 29})
+	ctr := counter.New(0)
+	b.ResetTimer()
+	rt.Run(func(c *batcher.Ctx) {
+		for i := 0; i < b.N; i++ {
+			ctr.Increment(c, 1)
+		}
+	})
+}
+
+func BenchmarkHashMapRealMixed(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 35})
+	for i := 0; i < b.N; i++ {
+		m := hashmap.NewBatched(35)
+		rt.Run(func(c *batcher.Ctx) {
+			c.For(0, 10_000, 1, func(cc *batcher.Ctx, j int) {
+				k := int64(j % 2000)
+				switch j % 3 {
+				case 0:
+					m.Put(cc, k, int64(j))
+				case 1:
+					m.Get(cc, k)
+				default:
+					m.Del(cc, k)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkOMListInsertChain(b *testing.B) {
+	rt := batcher.New(batcher.Config{Workers: 2, Seed: 37})
+	for i := 0; i < b.N; i++ {
+		l := omlist.NewBatched()
+		rt.Run(func(c *batcher.Ctx) {
+			prev := omlist.Elem(0)
+			for j := 0; j < 5_000; j++ {
+				prev = l.InsertAfter(c, prev)
+			}
+		})
+	}
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv := batcher.NewServer(batcher.ServerConfig{Workers: 4, Seed: 39})
+			ctr := counter.New(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for g := 0; g < clients; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for j := 0; j < 1000/clients+1; j++ {
+							srv.Invoke(&batcher.OpRecord{DS: ctr, Kind: counter.OpIncrement, Val: 1})
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			srv.Close()
+		})
+	}
+}
+
+func BenchmarkMutexSkipListBaseline(b *testing.B) {
+	m := concurrent.NewMutexSkipList(31)
+	r := rng.New(31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Insert(r.Int63(), 0)
+	}
+}
+
+func BenchmarkSeqSkipListBaseline(b *testing.B) {
+	l := skiplist.NewList(33)
+	r := rng.New(33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(r.Int63(), 0)
+	}
+}

@@ -1,0 +1,91 @@
+package batcher_test
+
+import (
+	"fmt"
+
+	"batcher"
+	"batcher/internal/ds/counter"
+	"batcher/internal/ds/stack"
+	"batcher/internal/ds/tree23"
+)
+
+// The Figure 1 program: fully parallel increments to a shared counter,
+// implicitly batched by the scheduler.
+func Example() {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 1})
+	ctr := counter.New(0)
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, 1000, 1, func(cc *batcher.Ctx, i int) {
+			ctr.Increment(cc, 1)
+		})
+	})
+	fmt.Println(ctr.Value())
+	// Output: 1000
+}
+
+// Implementing a batched data structure takes one method: RunBatch is
+// called with at most one batch at a time and at most P operations, so
+// it needs no locks and may fork freely.
+func Example_customStructure() {
+	maxSoFar := &maxDS{val: -1 << 62}
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 2})
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, 100, 1, func(cc *batcher.Ctx, i int) {
+			op := batcher.OpRecord{DS: maxSoFar, Val: int64((i * 37) % 101)}
+			cc.Batchify(&op)
+		})
+	})
+	fmt.Println(maxSoFar.val)
+	// Output: 100
+}
+
+type maxDS struct{ val int64 }
+
+func (m *maxDS) RunBatch(c *batcher.Ctx, ops []*batcher.OpRecord) {
+	for _, op := range ops {
+		if op.Val > m.val {
+			m.val = op.Val
+		}
+		op.Res = m.val
+	}
+}
+
+// The standalone Server (the paper's Section 8 extension) lets plain
+// goroutines make implicitly batched calls.
+func ExampleServer() {
+	srv := batcher.NewServer(batcher.ServerConfig{Workers: 2, Seed: 3})
+	ctr := counter.New(0)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 25; i++ {
+				srv.Invoke(&batcher.OpRecord{DS: ctr, Kind: counter.OpIncrement, Val: 1})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	srv.Close()
+	fmt.Println(ctr.Value())
+	// Output: 100
+}
+
+// Batched structures compose: one program can drive several, and the
+// scheduler groups each structure's operations separately within a batch
+// epoch.
+func Example_multipleStructures() {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 4})
+	dict := tree23.NewBatched()
+	undo := stack.New()
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, 100, 1, func(cc *batcher.Ctx, i int) {
+			if dict.Insert(cc, int64(i%25), int64(i)) {
+				undo.Push(cc, int64(i%25))
+			}
+		})
+	})
+	fmt.Println(dict.Tree().Len(), undo.Len())
+	// Output: 25 25
+}

@@ -1,0 +1,110 @@
+// Indexer: builds a dictionary (token -> first position) over a
+// synthetic corpus with the implicitly batched 2-3 tree, the search-tree
+// workload of the paper's Section 3, then serves a parallel query load
+// against it through a batched skip list shadow index.
+//
+// The interesting property: the corpus contains heavy duplication, so
+// many concurrent inserts carry *identical keys* — the exact case the
+// paper highlights as hard for concurrent search trees ("when all
+// inserts occur in the same node of the tree, e.g., when inserting P
+// identical keys") and easy for a batched tree that sorts each batch and
+// separates duplicates. The result is verified against a sequential map.
+//
+// Run:
+//
+//	go run ./examples/indexer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"batcher"
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/ds/tree23"
+	"batcher/internal/rng"
+	"batcher/internal/workload"
+)
+
+func main() {
+	const (
+		tokens  = 200_000
+		vocab   = 5_000
+		workers = 4
+	)
+	// Zipf-distributed token stream: few very hot tokens, long tail.
+	r := rng.New(99)
+	z := workload.NewZipf(r, vocab, 1.1)
+	corpus := make([]int64, tokens)
+	for i := range corpus {
+		corpus[i] = z.Next()
+	}
+
+	rt := batcher.New(batcher.Config{Workers: workers, Seed: 3})
+	index := tree23.NewBatched()
+	shadow := skiplist.NewBatched(17)
+
+	// Phase 1: parallel index build. Insert is "first writer wins" per
+	// key within the linearization, so we record whether we were first
+	// and only count those.
+	firsts := make([]bool, tokens)
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, tokens, 8, func(cc *batcher.Ctx, i int) {
+			firsts[i] = index.Insert(cc, corpus[i], int64(i))
+		})
+	})
+
+	// Oracle: sequential pass.
+	first := map[int64]bool{}
+	uniq := 0
+	for _, tok := range corpus {
+		if !first[tok] {
+			first[tok] = true
+			uniq++
+		}
+	}
+	got := 0
+	for _, f := range firsts {
+		if f {
+			got++
+		}
+	}
+	if got != uniq || index.Tree().Len() != uniq {
+		log.Fatalf("index has %d entries, %d inserts won; oracle says %d",
+			index.Tree().Len(), got, uniq)
+	}
+
+	// Phase 2: mirror the dictionary into the skip list (two batched
+	// structures used by one program — each gets its own batches).
+	keys := index.Tree().Keys()
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, len(keys), 8, func(cc *batcher.Ctx, i int) {
+			shadow.Insert(cc, keys[i], keys[i])
+		})
+	})
+	if shadow.List().Len() != uniq {
+		log.Fatalf("shadow has %d keys, want %d", shadow.List().Len(), uniq)
+	}
+
+	// Phase 3: parallel membership queries against both structures.
+	var misses atomic.Int64
+	rt.Run(func(c *batcher.Ctx) {
+		c.For(0, vocab, 8, func(cc *batcher.Ctx, k int) {
+			_, inTree := index.Contains(cc, int64(k))
+			_, inList := shadow.Contains(cc, int64(k))
+			if inTree != inList {
+				log.Fatalf("tree and skip list disagree on key %d", k)
+			}
+			if !inTree {
+				misses.Add(1) // token never drawn from the Zipf stream
+			}
+		})
+	})
+
+	m := rt.Metrics()
+	fmt.Printf("indexed %d tokens, %d unique (%d vocabulary slots never drawn)\n",
+		tokens, uniq, misses.Load())
+	fmt.Printf("2-3 tree and skip list agree on all %d membership queries ✓\n", vocab)
+	fmt.Printf("scheduler: %s\n", m.String())
+}

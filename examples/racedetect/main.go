@@ -1,0 +1,215 @@
+// Racedetect: the paper's motivating application (Section 1) — an
+// on-the-fly data-race detector whose series-parallel-maintenance
+// structure is updated at every fork *before program flow continues*,
+// making explicit batching impossible and implicit batching the natural
+// fit.
+//
+// The detector implements English-Hebrew SP-order (Bender, Fineman,
+// Gilbert, Leiserson, SPAA 2004) over two implicitly batched
+// order-maintenance lists: every fork inserts the two child strands and
+// the continuation strand into both lists — children in left-to-right
+// order in the English list and right-to-left order in the Hebrew list —
+// and two strands are ordered in series iff they agree in both lists.
+// Memory accesses query the lists (blocking, implicitly batched calls)
+// against per-location shadow state and report a race when a write is
+// logically parallel with a previous access.
+//
+// The program runs an instrumented fork tree with one deliberately
+// planted write-write race and several deliberately safe patterns, and
+// verifies the detector flags exactly the planted race.
+//
+// Run:
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"batcher"
+	"batcher/internal/ds/omlist"
+)
+
+// Strand identifies a maximal sequential piece of the computation by its
+// elements in the two SP-order lists.
+type Strand struct {
+	eng, heb omlist.Elem
+	name     string
+}
+
+// Detector is the on-the-fly race detector.
+type Detector struct {
+	eng, heb *omlist.Batched
+
+	mu     sync.Mutex
+	shadow map[int]*shadowCell
+	races  []string
+}
+
+type shadowCell struct {
+	writer    Strand
+	hasWriter bool
+	reader    Strand
+	hasReader bool
+}
+
+// NewDetector returns a detector whose root strand is the origin of both
+// lists.
+func NewDetector() (*Detector, Strand) {
+	return &Detector{
+		eng:    omlist.NewBatched(),
+		heb:    omlist.NewBatched(),
+		shadow: map[int]*shadowCell{},
+	}, Strand{eng: 0, heb: 0, name: "root"}
+}
+
+// Fork registers a binary fork of strand s, returning the two child
+// strands and the continuation strand that follows the join. The
+// inserts are blocking implicitly batched calls — the on-the-fly update
+// the paper's introduction describes.
+func (d *Detector) Fork(c *batcher.Ctx, s Strand, name string) (left, right, after Strand) {
+	// English order: s < left < right < after.
+	le := d.eng.InsertAfter(c, s.eng)
+	re := d.eng.InsertAfter(c, le)
+	ae := d.eng.InsertAfter(c, re)
+	// Hebrew order: s < right < left < after.
+	rh := d.heb.InsertAfter(c, s.heb)
+	lh := d.heb.InsertAfter(c, rh)
+	ah := d.heb.InsertAfter(c, lh)
+	left = Strand{eng: le, heb: lh, name: name + "/L"}
+	right = Strand{eng: re, heb: rh, name: name + "/R"}
+	after = Strand{eng: ae, heb: ah, name: name + "/after"}
+	return left, right, after
+}
+
+// precedes reports whether u is in series before v: before in both
+// orders.
+func (d *Detector) precedes(c *batcher.Ctx, u, v Strand) bool {
+	return d.eng.Before(c, u.eng, v.eng) && d.heb.Before(c, u.heb, v.heb)
+}
+
+// Write instruments a write to loc by strand s. The shadow update is
+// atomic with the snapshot of the previous accessors (so concurrent
+// accessors always observe one another in some order); the SP-order
+// queries — blocking, implicitly batched calls — run against the
+// snapshot outside the lock.
+func (d *Detector) Write(c *batcher.Ctx, s Strand, loc int) {
+	d.mu.Lock()
+	cell := d.cellLocked(loc)
+	prevW, hasW := cell.writer, cell.hasWriter
+	prevR, hasR := cell.reader, cell.hasReader
+	cell.writer, cell.hasWriter = s, true
+	d.mu.Unlock()
+
+	if hasW && !d.precedes(c, prevW, s) {
+		d.report(loc, prevW, s, "write-write")
+	}
+	if hasR && !d.precedes(c, prevR, s) {
+		d.report(loc, prevR, s, "read-write")
+	}
+}
+
+// Read instruments a read of loc by strand s. The detector keeps one
+// reader per location (a simplification of the classic two-reader
+// scheme; it can miss read-write races between dropped readers and later
+// writers, but never reports a false positive).
+func (d *Detector) Read(c *batcher.Ctx, s Strand, loc int) {
+	d.mu.Lock()
+	cell := d.cellLocked(loc)
+	prevW, hasW := cell.writer, cell.hasWriter
+	cell.reader, cell.hasReader = s, true
+	d.mu.Unlock()
+
+	if hasW && !d.precedes(c, prevW, s) {
+		d.report(loc, prevW, s, "write-read")
+	}
+}
+
+func (d *Detector) cellLocked(loc int) *shadowCell {
+	cell := d.shadow[loc]
+	if cell == nil {
+		cell = &shadowCell{}
+		d.shadow[loc] = cell
+	}
+	return cell
+}
+
+func (d *Detector) report(loc int, a, b Strand, kind string) {
+	d.mu.Lock()
+	d.races = append(d.races,
+		fmt.Sprintf("%s race on loc %d between %s and %s", kind, loc, a.name, b.name))
+	d.mu.Unlock()
+}
+
+func main() {
+	rt := batcher.New(batcher.Config{Workers: 4, Seed: 13})
+	det, root := NewDetector()
+
+	rt.Run(func(c *batcher.Ctx) {
+		// Safe: the root writes before any fork.
+		det.Write(c, root, 1)
+		det.Write(c, root, 7)
+
+		l, r, after := det.Fork(c, root, "root")
+		c.Fork(
+			func(cc *batcher.Ctx) {
+				// Safe: reading what a serial ancestor wrote.
+				det.Read(cc, l, 1)
+				// Left subtree forks again.
+				ll, lr, lafter := det.Fork(cc, l, l.name)
+				cc.Fork(
+					func(c3 *batcher.Ctx) {
+						det.Write(c3, ll, 2) // safe: private location
+						det.Write(c3, ll, 7) // RACE: parallel with right's write
+					},
+					func(c3 *batcher.Ctx) {
+						det.Write(c3, lr, 3) // safe: private location
+					},
+				)
+				// Safe: continuation reads what its children wrote.
+				det.Read(cc, lafter, 2)
+				det.Read(cc, lafter, 3)
+			},
+			func(cc *batcher.Ctx) {
+				det.Read(cc, r, 1)  // safe: serial ancestor wrote
+				det.Write(cc, r, 7) // RACE with ll's write (order of detection varies)
+				det.Write(cc, r, 4) // safe: private location
+			},
+		)
+		// Safe: after the join, everything above is in series.
+		det.Read(c, after, 7)
+		det.Read(c, after, 2)
+		det.Write(c, after, 1)
+	})
+
+	// Structural sanity checks on the SP order itself.
+	rt.Run(func(c *batcher.Ctx) {
+		l, r, after := det.Fork(c, root, "check")
+		mustSeries := func(u, v Strand) {
+			if !det.precedes(c, u, v) {
+				log.Fatalf("%s should precede %s", u.name, v.name)
+			}
+		}
+		mustParallel := func(u, v Strand) {
+			if det.precedes(c, u, v) || det.precedes(c, v, u) {
+				log.Fatalf("%s and %s should be parallel", u.name, v.name)
+			}
+		}
+		mustSeries(root, l)
+		mustSeries(root, r)
+		mustSeries(l, after)
+		mustSeries(r, after)
+		mustParallel(l, r)
+	})
+
+	if len(det.races) != 1 {
+		log.Fatalf("expected exactly the planted race, got %d:\n%v", len(det.races), det.races)
+	}
+	fmt.Println("instrumented fork tree executed under BATCHER")
+	fmt.Printf("detected: %s\n", det.races[0])
+	fmt.Println("all deliberately synchronized accesses reported race-free ✓")
+	fmt.Printf("SP-order lists: english %d elements, hebrew %d elements\n",
+		det.eng.List().Len(), det.heb.List().Len())
+}

@@ -1,0 +1,3 @@
+module batcher
+
+go 1.24

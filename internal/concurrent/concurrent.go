@@ -1,0 +1,152 @@
+// Package concurrent provides the conventional concurrent-data-structure
+// baselines the paper compares implicit batching against: the trivial
+// atomic (fetch-and-add) counter of Section 3, whose n increments
+// serialize and cost Ω(n) regardless of P, and lock-based skip lists
+// (coarse- and striped-lock) representing the "concurrent structure with
+// no aggregate performance theorem" class. These run under ordinary
+// goroutines — they are deliberately *not* BATCHER clients.
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"batcher/internal/ds/skiplist"
+)
+
+// AtomicCounter is the trivial concurrent counter: a single cache line
+// updated with fetch-and-add. Every increment serializes on the one word,
+// which is exactly why the paper's analysis gives it Ω(n) total time.
+type AtomicCounter struct {
+	v atomic.Int64
+}
+
+// NewAtomicCounter returns a counter with the given initial value.
+func NewAtomicCounter(initial int64) *AtomicCounter {
+	c := &AtomicCounter{}
+	c.v.Store(initial)
+	return c
+}
+
+// Increment atomically adds delta and returns the resulting value.
+func (c *AtomicCounter) Increment(delta int64) int64 { return c.v.Add(delta) }
+
+// Value returns the current value.
+func (c *AtomicCounter) Value() int64 { return c.v.Load() }
+
+// MutexSkipList is a sequential skip list behind one global mutex — the
+// simplest correct concurrent skip list and the natural strawman for the
+// Section 7 insert workload.
+type MutexSkipList struct {
+	mu sync.Mutex
+	l  *skiplist.List
+}
+
+// NewMutexSkipList returns an empty list with the given height seed.
+func NewMutexSkipList(seed uint64) *MutexSkipList {
+	return &MutexSkipList{l: skiplist.NewList(seed)}
+}
+
+// Insert adds key/val; reports whether key was newly inserted.
+func (m *MutexSkipList) Insert(key, val int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l.Insert(key, val)
+}
+
+// Contains looks up key.
+func (m *MutexSkipList) Contains(key int64) (int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l.Contains(key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *MutexSkipList) Delete(key int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l.Delete(key)
+}
+
+// Len returns the number of keys.
+func (m *MutexSkipList) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l.Len()
+}
+
+// StripedMap is a lock-striped hash map baseline: finer-grained than the
+// global mutex, still no aggregate bound. It represents the "better
+// engineered but theoretically unconstrained" concurrent alternative.
+type StripedMap struct {
+	stripes []mapStripe
+	mask    uint64
+}
+
+type mapStripe struct {
+	mu sync.Mutex
+	m  map[int64]int64
+	_  [40]byte // pad toward a cache line to reduce false sharing
+}
+
+// NewStripedMap returns a map with the given number of stripes (rounded
+// up to a power of two, minimum 1).
+func NewStripedMap(stripes int) *StripedMap {
+	n := 1
+	for n < stripes {
+		n *= 2
+	}
+	s := &StripedMap{stripes: make([]mapStripe, n), mask: uint64(n - 1)}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[int64]int64)
+	}
+	return s
+}
+
+func (s *StripedMap) stripe(key int64) *mapStripe {
+	h := uint64(key)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &s.stripes[h&s.mask]
+}
+
+// Insert adds key/val; reports whether key was newly inserted.
+func (s *StripedMap) Insert(key, val int64) bool {
+	st := s.stripe(key)
+	st.mu.Lock()
+	_, existed := st.m[key]
+	st.m[key] = val
+	st.mu.Unlock()
+	return !existed
+}
+
+// Contains looks up key.
+func (s *StripedMap) Contains(key int64) (int64, bool) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	v, ok := st.m[key]
+	st.mu.Unlock()
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *StripedMap) Delete(key int64) bool {
+	st := s.stripe(key)
+	st.mu.Lock()
+	_, existed := st.m[key]
+	delete(st.m, key)
+	st.mu.Unlock()
+	return existed
+}
+
+// Len returns the total number of keys (takes all stripe locks).
+func (s *StripedMap) Len() int {
+	total := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		total += len(s.stripes[i].m)
+		s.stripes[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,155 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"batcher/internal/rng"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	c := NewAtomicCounter(10)
+	if got := c.Increment(5); got != 15 {
+		t.Fatalf("Increment = %d", got)
+	}
+	if c.Value() != 15 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestAtomicCounterParallel(t *testing.T) {
+	c := NewAtomicCounter(0)
+	var wg sync.WaitGroup
+	const g, per = 8, 10000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Increment(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != g*per {
+		t.Fatalf("Value = %d, want %d", c.Value(), g*per)
+	}
+}
+
+func TestAtomicCounterReturnValuesUnique(t *testing.T) {
+	c := NewAtomicCounter(0)
+	const g, per = 4, 1000
+	results := make([][]int64, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = make([]int64, per)
+			for j := 0; j < per; j++ {
+				results[i][j] = c.Increment(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make([]bool, g*per+1)
+	for _, rs := range results {
+		for _, r := range rs {
+			if r < 1 || r > g*per || seen[r] {
+				t.Fatalf("non-unique return %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestMutexSkipList(t *testing.T) {
+	m := NewMutexSkipList(1)
+	var wg sync.WaitGroup
+	const g, per = 8, 500
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.Insert(int64(i*per+j), int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() != g*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), g*per)
+	}
+	for k := int64(0); k < g*per; k++ {
+		if _, ok := m.Contains(k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	if !m.Delete(0) || m.Delete(0) {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestStripedMapBasic(t *testing.T) {
+	s := NewStripedMap(8)
+	if !s.Insert(1, 10) {
+		t.Fatal("insert not new")
+	}
+	if s.Insert(1, 11) {
+		t.Fatal("dup insert new")
+	}
+	if v, ok := s.Contains(1); !ok || v != 11 {
+		t.Fatalf("Contains = %d,%v", v, ok)
+	}
+	if !s.Delete(1) || s.Delete(1) {
+		t.Fatal("delete semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStripedMapParallelAgainstOracle(t *testing.T) {
+	s := NewStripedMap(16)
+	const g, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rng.New(uint64(i) + 1)
+			for j := 0; j < per; j++ {
+				k := r.Int63() % 1000
+				switch r.Intn(3) {
+				case 0:
+					s.Insert(k, k)
+				case 1:
+					s.Contains(k)
+				case 2:
+					s.Delete(k)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Sanity: every surviving key must be retrievable with its value.
+	n := 0
+	for k := int64(0); k < 1000; k++ {
+		if v, ok := s.Contains(k); ok {
+			if v != k {
+				t.Fatalf("key %d has value %d", k, v)
+			}
+			n++
+		}
+	}
+	if n != s.Len() {
+		t.Fatalf("Len = %d, scan found %d", s.Len(), n)
+	}
+}
+
+func TestStripedMapRoundsUpStripes(t *testing.T) {
+	s := NewStripedMap(5)
+	if len(s.stripes) != 8 {
+		t.Fatalf("stripes = %d, want 8", len(s.stripes))
+	}
+}

@@ -1,0 +1,137 @@
+// Package deque implements the Chase–Lev lock-free work-stealing deque.
+//
+// Each worker owns one deque (two in BATCHER: a core deque and a batch
+// deque). Only the owner may call PushBottom and PopBottom; any worker may
+// call Steal, which removes from the opposite (top) end. This is the
+// classic structure from Chase & Lev, "Dynamic Circular Work-Stealing
+// Deque" (SPAA 2005), with the growable circular buffer. Go's sync/atomic
+// operations are sequentially consistent, which subsumes the memory fences
+// the original algorithm requires.
+package deque
+
+import "sync/atomic"
+
+const minCapacity = 32
+
+// ring is a circular buffer of item pointers. Rings only ever grow; a
+// thief holding a stale ring still reads correct values for indices in
+// [top, bottom) because growth copies that range.
+type ring[T any] struct {
+	mask  int64 // capacity-1; capacity is a power of two
+	slots []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.slots[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.slots[i&r.mask].Store(v) }
+func (r *ring[T]) capacity() int64   { return r.mask + 1 }
+func (r *ring[T]) grow(t, b int64) *ring[T] {
+	bigger := newRing[T](r.capacity() * 2)
+	for i := t; i < b; i++ {
+		bigger.put(i, r.get(i))
+	}
+	return bigger
+}
+
+// Deque is a lock-free work-stealing deque of *T. The zero value is not
+// ready for use; call New.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	arr    atomic.Pointer[ring[T]]
+	// steals counts successful Steal calls, for scheduler metrics.
+	steals atomic.Int64
+}
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.arr.Store(newRing[T](minCapacity))
+	return d
+}
+
+// PushBottom adds v at the bottom (owner end). Owner only.
+func (d *Deque[T]) PushBottom(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.arr.Load()
+	if b-t >= a.capacity()-1 {
+		a = a.grow(t, b)
+		d.arr.Store(a)
+	}
+	a.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the bottom item, or nil if the deque is
+// empty (or the last item was lost to a concurrent thief). Owner only.
+func (d *Deque[T]) PopBottom() *T {
+	b := d.bottom.Load() - 1
+	a := d.arr.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore the canonical empty state.
+		d.bottom.Store(t)
+		return nil
+	}
+	v := a.get(b)
+	if t == b {
+		// Last element: race against thieves on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // a thief got it first
+		}
+		d.bottom.Store(t + 1)
+	}
+	return v
+}
+
+// Steal removes and returns the top item. It returns nil if the deque is
+// empty or if the steal lost a race with the owner or another thief; in
+// the BATCHER accounting both count as a failed steal attempt, so callers
+// need not distinguish.
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	a := d.arr.Load()
+	v := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	d.steals.Add(1)
+	return v
+}
+
+// Empty reports whether the deque appears empty. The answer may be stale
+// by the time the caller acts on it, which is inherent to work stealing.
+func (d *Deque[T]) Empty() bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	return t >= b
+}
+
+// Len returns the apparent number of items. Like Empty, it is a snapshot.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Steals returns the number of successful steals from this deque since
+// creation. Used by scheduler metrics.
+func (d *Deque[T]) Steals() int64 { return d.steals.Load() }
+
+// Reset empties the deque. Owner only, and only when no thieves are
+// active (e.g. between scheduler runs).
+func (d *Deque[T]) Reset() {
+	t := d.top.Load()
+	d.bottom.Store(t)
+}

@@ -1,0 +1,303 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	d := New[int]()
+	if !d.Empty() {
+		t.Fatal("new deque not empty")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+	if v := d.PopBottom(); v != nil {
+		t.Fatalf("PopBottom on empty = %v, want nil", v)
+	}
+	if v := d.Steal(); v != nil {
+		t.Fatalf("Steal on empty = %v, want nil", v)
+	}
+}
+
+func TestLIFOOwner(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("PopBottom = %v, want %d", got, vals[i])
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after popping all")
+	}
+}
+
+func TestFIFOSteal(t *testing.T) {
+	d := New[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		got := d.Steal()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Steal = %v, want %d", got, vals[i])
+		}
+	}
+	if d.Steal() != nil {
+		t.Fatal("Steal on drained deque should be nil")
+	}
+	if d.Steals() != 3 {
+		t.Fatalf("Steals = %d, want 3", d.Steals())
+	}
+}
+
+func TestMixedEnds(t *testing.T) {
+	d := New[int]()
+	vals := make([]int, 6)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	// Steal takes the oldest (0), PopBottom the newest (5).
+	if got := d.Steal(); got == nil || *got != 0 {
+		t.Fatalf("Steal = %v, want 0", got)
+	}
+	if got := d.PopBottom(); got == nil || *got != 5 {
+		t.Fatalf("PopBottom = %v, want 5", got)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int]()
+	const n = 10 * minCapacity
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != i {
+			t.Fatalf("PopBottom = %v, want %d", got, i)
+		}
+	}
+}
+
+func TestGrowthPreservesStealOrder(t *testing.T) {
+	d := New[int]()
+	const n = 5 * minCapacity
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < n; i++ {
+		got := d.Steal()
+		if got == nil || *got != i {
+			t.Fatalf("Steal after growth = %v, want %d", got, i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New[int]()
+	v := 1
+	d.PushBottom(&v)
+	d.PushBottom(&v)
+	d.Reset()
+	if !d.Empty() {
+		t.Fatal("deque not empty after Reset")
+	}
+	d.PushBottom(&v)
+	if got := d.PopBottom(); got == nil || *got != 1 {
+		t.Fatalf("push/pop after Reset = %v, want 1", got)
+	}
+}
+
+// TestQuickSequentialModel checks owner-side push/pop against a slice
+// stack over random operation sequences.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []bool, seedVals []int16) bool {
+		d := New[int]()
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				v := new(int)
+				*v = next
+				next++
+				d.PushBottom(v)
+				model = append(model, *v)
+			} else {
+				got := d.PopBottom()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if got == nil || *got != want {
+					return false
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentExactlyOnce hammers the deque with one owner and several
+// thieves and verifies every pushed element is delivered exactly once.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const (
+		n       = 20000
+		thieves = 4
+	)
+	d := New[int]()
+	vals := make([]int, n)
+	delivered := make([]atomic.Int32, n)
+	var popped, stolen atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v := d.Steal(); v != nil {
+					delivered[*v].Add(1)
+					stolen.Add(1)
+				}
+				select {
+				case <-stop:
+					// Drain anything left after the owner finished.
+					for {
+						v := d.Steal()
+						if v == nil {
+							return
+						}
+						delivered[*v].Add(1)
+						stolen.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if i%3 == 0 {
+			if v := d.PopBottom(); v != nil {
+				delivered[*v].Add(1)
+				popped.Add(1)
+			}
+		}
+	}
+	// Owner drains its own end too.
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		delivered[*v].Add(1)
+		popped.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	// Thieves may still have grabbed the "nil" races; do a final owner drain.
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		delivered[*v].Add(1)
+		popped.Add(1)
+	}
+
+	for i := range delivered {
+		if c := delivered[i].Load(); c != 1 {
+			t.Fatalf("element %d delivered %d times", i, c)
+		}
+	}
+	if popped.Load()+stolen.Load() != n {
+		t.Fatalf("popped %d + stolen %d != %d", popped.Load(), stolen.Load(), n)
+	}
+}
+
+// TestConcurrentStealOnly verifies thieves alone drain the deque with no
+// duplicates or losses.
+func TestConcurrentStealOnly(t *testing.T) {
+	const n = 10000
+	d := New[int]()
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	var count atomic.Int64
+	delivered := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for count.Load() < n {
+				if v := d.Steal(); v != nil {
+					delivered[*v].Add(1)
+					count.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range delivered {
+		if c := delivered[i].Load(); c != 1 {
+			t.Fatalf("element %d delivered %d times", i, c)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int]()
+	v := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealUncontended(b *testing.B) {
+	d := New[int]()
+	v := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&v)
+		d.Steal()
+	}
+}

@@ -1,0 +1,74 @@
+// Package counter implements the paper's batched shared counter
+// (Section 3, Figure 2). INCREMENT atomically adds a (possibly negative)
+// value and returns the counter's resulting value. The batched operation
+// is a parallel prefix-sums over the batch's increments: op i receives
+// value + Δ1 + ... + Δi, which is linearizable (the batch order is the
+// linearization order). A size-x batch has Θ(x) work and O(lg x) span, so
+// W(n) = Θ(n) and s(n) = O(lg P) — the bounds used in the paper's
+// running-time example.
+package counter
+
+import (
+	"batcher/internal/prefix"
+	"batcher/internal/sched"
+)
+
+// OpIncrement is the only operation kind.
+const OpIncrement sched.OpKind = iota
+
+// Batched is the implicitly batched counter. Access it from core tasks
+// via Increment; the scheduler invokes RunBatch.
+type Batched struct {
+	value int64
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// New returns a batched counter with the given initial value.
+func New(initial int64) *Batched { return &Batched{value: initial} }
+
+// Increment atomically adds delta to the counter and returns the
+// counter's value including this increment. It must be called from a
+// core task; it blocks (without spinning the worker) until some batch
+// has performed the operation.
+func (b *Batched) Increment(c *sched.Ctx, delta int64) int64 {
+	op := sched.OpRecord{DS: b, Kind: OpIncrement, Val: delta}
+	c.Batchify(&op)
+	return op.Res
+}
+
+// Value returns the current value. Quiescent only: call it when no batch
+// can be in flight (e.g. after Run returns), as the paper's model has no
+// unbatched reads.
+func (b *Batched) Value() int64 { return b.value }
+
+// RunBatch implements sched.Batched: Figure 2's BOP. It needs no
+// synchronization — the scheduler guarantees one batch at a time.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	n := len(ops)
+	vals := make([]int64, n)
+	c.For(0, n, 64, func(_ *sched.Ctx, i int) { vals[i] = ops[i].Val })
+	total := prefix.InclusiveInt64(c, vals)
+	base := b.value
+	c.For(0, n, 64, func(_ *sched.Ctx, i int) {
+		ops[i].Res = base + vals[i]
+		ops[i].Ok = true
+	})
+	b.value = base + total
+}
+
+// Seq is the sequential counter baseline (no concurrency control),
+// used by the benchmark harness as the paper's 1-processor reference.
+type Seq struct{ value int64 }
+
+// NewSeq returns a sequential counter.
+func NewSeq(initial int64) *Seq { return &Seq{value: initial} }
+
+// Increment adds delta and returns the resulting value.
+func (s *Seq) Increment(delta int64) int64 {
+	s.value += delta
+	return s.value
+}
+
+// Value returns the current value.
+func (s *Seq) Value() int64 { return s.value }

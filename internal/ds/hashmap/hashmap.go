@@ -1,0 +1,205 @@
+// Package hashmap implements a batched hash table (a parallel
+// dictionary, the structure class the paper's related work cites via
+// Paul–Vishkin–Wagener and the STL bulk-operation dictionaries). The
+// batched operation exploits bucket disjointness:
+//
+//  1. hash every operation to its bucket (parallel),
+//  2. group operations by bucket (sequential — a batch has at most P
+//     operations),
+//  3. apply each bucket's group independently, in parallel: distinct
+//     buckets touch disjoint state, so no synchronization is needed,
+//  4. if the load factor crossed a threshold, rebuild the table in
+//     parallel. With table doubling, old bucket i redistributes only
+//     into new buckets i and i+oldLen, so the rehash parallelizes over
+//     old buckets with disjoint writes.
+//
+// Amortized Θ(1) work per operation, with Θ(n)-work rebuild batches —
+// the same amortized profile as the paper's stack example, handled by
+// Theorem 1's parallelism-based definition of the data-structure span.
+package hashmap
+
+import (
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+// Operation kinds.
+const (
+	// OpPut maps Key to Val; Ok reports "newly inserted".
+	OpPut sched.OpKind = iota
+	// OpGet reads Key into Res; Ok reports presence.
+	OpGet
+	// OpDel removes Key; Ok reports "was present".
+	OpDel
+)
+
+type entry struct{ k, v int64 }
+
+const initialBuckets = 8
+
+// Batched is the implicitly batched hash map.
+type Batched struct {
+	buckets [][]entry
+	size    int
+	seed    uint64
+	// Rebuilds counts table doublings/halvings (for tests and benches).
+	Rebuilds int
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns an empty map; seed fixes the hash function.
+func NewBatched(seed uint64) *Batched {
+	return &Batched{buckets: make([][]entry, initialBuckets), seed: seed}
+}
+
+// Len returns the number of keys. Quiescent only.
+func (b *Batched) Len() int { return b.size }
+
+// Buckets returns the current bucket count (for tests).
+func (b *Batched) Buckets() int { return len(b.buckets) }
+
+func (b *Batched) hash(k int64) int {
+	st := uint64(k) ^ b.seed
+	return int(rng.SplitMix64(&st) & uint64(len(b.buckets)-1))
+}
+
+// Put maps key to val; reports whether key was newly inserted. Core
+// tasks only.
+func (b *Batched) Put(c *sched.Ctx, key, val int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpPut, Key: key, Val: val}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// Get looks up key. Core tasks only.
+func (b *Batched) Get(c *sched.Ctx, key int64) (int64, bool) {
+	op := sched.OpRecord{DS: b, Kind: OpGet, Key: key}
+	c.Batchify(&op)
+	return op.Res, op.Ok
+}
+
+// Del removes key, reporting whether it was present. Core tasks only.
+func (b *Batched) Del(c *sched.Ctx, key int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpDel, Key: key}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// RunBatch implements sched.Batched.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	// Step 1: hash each op (parallel; cheap, but it is the honest place
+	// for the hashing work in the batch dag).
+	idx := make([]int, len(ops))
+	c.For(0, len(ops), 16, func(_ *sched.Ctx, i int) {
+		idx[i] = b.hash(ops[i].Key)
+	})
+
+	// Step 2: group by bucket, preserving compaction order (the batch's
+	// linearization order for same-key operations).
+	groups := map[int][]*sched.OpRecord{}
+	order := make([]int, 0, len(ops))
+	for i, op := range ops {
+		bi := idx[i]
+		if _, seen := groups[bi]; !seen {
+			order = append(order, bi)
+		}
+		groups[bi] = append(groups[bi], op)
+	}
+
+	// Step 3: apply bucket groups in parallel; sizeDelta per group so
+	// that parallel tasks never write shared state.
+	deltas := make([]int, len(order))
+	c.For(0, len(order), 1, func(_ *sched.Ctx, gi int) {
+		bi := order[gi]
+		d := 0
+		for _, op := range groups[bi] {
+			d += b.applyToBucket(bi, op)
+		}
+		deltas[gi] = d
+	})
+	for _, d := range deltas {
+		b.size += d
+	}
+
+	// Step 4: resize when over- or under-loaded.
+	switch {
+	case b.size > 3*len(b.buckets): // load factor 3
+		b.resize(c, len(b.buckets)*2)
+	case len(b.buckets) > initialBuckets && b.size < len(b.buckets)/2:
+		b.resize(c, len(b.buckets)/2)
+	}
+}
+
+// applyToBucket performs one operation on bucket bi, returning the size
+// delta. Called only from the task owning bucket bi within a batch.
+func (b *Batched) applyToBucket(bi int, op *sched.OpRecord) int {
+	bucket := b.buckets[bi]
+	pos := -1
+	for i := range bucket {
+		if bucket[i].k == op.Key {
+			pos = i
+			break
+		}
+	}
+	switch op.Kind {
+	case OpPut:
+		if pos >= 0 {
+			bucket[pos].v = op.Val
+			op.Ok = false
+			return 0
+		}
+		b.buckets[bi] = append(bucket, entry{op.Key, op.Val})
+		op.Ok = true
+		return 1
+	case OpGet:
+		if pos >= 0 {
+			op.Res, op.Ok = bucket[pos].v, true
+		} else {
+			op.Res, op.Ok = 0, false
+		}
+		return 0
+	case OpDel:
+		if pos < 0 {
+			op.Ok = false
+			return 0
+		}
+		bucket[pos] = bucket[len(bucket)-1]
+		b.buckets[bi] = bucket[:len(bucket)-1]
+		op.Ok = true
+		return -1
+	default:
+		panic("hashmap: unknown op kind")
+	}
+}
+
+// resize rebuilds the table with newLen buckets (a power of two), in
+// parallel over old buckets. Growing by 2x sends old bucket i only to
+// new buckets i and i+oldLen (disjoint per task); halving sends old
+// buckets i and i+newLen to new bucket i, handled by having each task
+// own one *new* bucket and pull from its (at most two) sources.
+func (b *Batched) resize(c *sched.Ctx, newLen int) {
+	b.Rebuilds++
+	old := b.buckets
+	fresh := make([][]entry, newLen)
+	b.buckets = fresh
+	if newLen >= len(old) {
+		// Grow: task per old bucket, writing two owned new buckets.
+		c.For(0, len(old), 4, func(_ *sched.Ctx, i int) {
+			for _, e := range old[i] {
+				ni := b.hash(e.k)
+				fresh[ni] = append(fresh[ni], e)
+			}
+		})
+		return
+	}
+	// Shrink: task per new bucket, pulling from its source old buckets.
+	ratio := len(old) / newLen
+	c.For(0, newLen, 4, func(_ *sched.Ctx, i int) {
+		for r := 0; r < ratio; r++ {
+			for _, e := range old[i+r*newLen] {
+				fresh[i] = append(fresh[i], e)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package hashmap
+
+import (
+	"testing"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func runOn(p int, f func(c *sched.Ctx)) {
+	rt := sched.New(sched.Config{Workers: p, Seed: 71})
+	rt.Run(f)
+}
+
+func TestPutGetDel(t *testing.T) {
+	b := NewBatched(1)
+	runOn(2, func(c *sched.Ctx) {
+		if !b.Put(c, 5, 50) {
+			t.Error("first Put not new")
+		}
+		if b.Put(c, 5, 55) {
+			t.Error("dup Put new")
+		}
+		v, ok := b.Get(c, 5)
+		if !ok || v != 55 {
+			t.Errorf("Get = %d,%v", v, ok)
+		}
+		if _, ok := b.Get(c, 6); ok {
+			t.Error("Get absent key ok")
+		}
+		if !b.Del(c, 5) || b.Del(c, 5) {
+			t.Error("Del semantics broken")
+		}
+	})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestParallelPuts(t *testing.T) {
+	for _, p := range []int{1, 4, 8} {
+		b := NewBatched(2)
+		const n = 5000
+		runOn(p, func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+				b.Put(cc, int64(i), int64(i*2))
+			})
+		})
+		if b.Len() != n {
+			t.Fatalf("P=%d: Len = %d", p, b.Len())
+		}
+		if b.Rebuilds == 0 {
+			t.Fatalf("P=%d: no rebuilds for %d keys", p, n)
+		}
+		runOn(p, func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+				v, ok := b.Get(cc, int64(i))
+				if !ok || v != int64(i*2) {
+					t.Errorf("Get(%d) = %d,%v", i, v, ok)
+				}
+			})
+		})
+	}
+}
+
+func TestShrinkOnMassDelete(t *testing.T) {
+	b := NewBatched(3)
+	const n = 4000
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Put(cc, int64(i), 0) })
+	})
+	grown := b.Buckets()
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Del(cc, int64(i)) })
+	})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Buckets() >= grown {
+		t.Fatalf("buckets did not shrink: %d -> %d", grown, b.Buckets())
+	}
+}
+
+func TestSequentialChainAgainstMapOracle(t *testing.T) {
+	b := NewBatched(4)
+	m := map[int64]int64{}
+	r := rng.New(7)
+	runOn(4, func(c *sched.Ctx) {
+		for i := 0; i < 5000; i++ {
+			k := r.Int63() % 600
+			switch r.Intn(3) {
+			case 0:
+				_, existed := m[k]
+				if b.Put(c, k, int64(i)) == existed {
+					t.Fatalf("op %d: Put(%d) mismatch", i, k)
+				}
+				m[k] = int64(i)
+			case 1:
+				wv, wok := m[k]
+				gv, gok := b.Get(c, k)
+				if gok != wok || (wok && gv != wv) {
+					t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+				}
+			case 2:
+				_, existed := m[k]
+				if b.Del(c, k) != existed {
+					t.Fatalf("op %d: Del(%d) mismatch", i, k)
+				}
+				delete(m, k)
+			}
+		}
+	})
+	if b.Len() != len(m) {
+		t.Fatalf("Len = %d want %d", b.Len(), len(m))
+	}
+}
+
+func TestSameKeyCollisionsWithinBatch(t *testing.T) {
+	// All ops hit one key: within any batch they share a bucket group and
+	// must apply in a consistent serial order.
+	b := NewBatched(5)
+	const n = 800
+	news := 0
+	newsArr := make([]bool, n)
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			newsArr[i] = b.Put(cc, 42, int64(i))
+		})
+	})
+	for _, f := range newsArr {
+		if f {
+			news++
+		}
+	}
+	if news != 1 {
+		t.Fatalf("%d Puts of one key reported new", news)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestMixedParallelConservation(t *testing.T) {
+	b := NewBatched(6)
+	const n = 3000
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			k := int64(i % 300)
+			switch i % 3 {
+			case 0:
+				b.Put(cc, k, int64(i))
+			case 1:
+				b.Get(cc, k)
+			case 2:
+				b.Del(cc, k)
+			}
+		})
+	})
+	// Every surviving key retrievable; count matches Len.
+	count := 0
+	runOn(2, func(c *sched.Ctx) {
+		for k := int64(0); k < 300; k++ {
+			if _, ok := b.Get(c, k); ok {
+				count++
+			}
+		}
+	})
+	if count != b.Len() {
+		t.Fatalf("Len = %d but %d keys retrievable", b.Len(), count)
+	}
+}
+
+func TestManyRunsStable(t *testing.T) {
+	b := NewBatched(8)
+	for round := 0; round < 10; round++ {
+		runOn(4, func(c *sched.Ctx) {
+			c.For(0, 500, 1, func(cc *sched.Ctx, i int) {
+				if round%2 == 0 {
+					b.Put(cc, int64(i), int64(round))
+				} else {
+					b.Del(cc, int64(i))
+				}
+			})
+		})
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after balanced rounds", b.Len())
+	}
+}

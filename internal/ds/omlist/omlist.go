@@ -1,0 +1,172 @@
+// Package omlist implements an order-maintenance list — insert-after and
+// precedes queries in amortized O(1) — and its implicitly batched
+// wrapper.
+//
+// This is the substrate of the paper's motivating application
+// (Section 1): an on-the-fly data-race detector maintains a
+// series-parallel-order structure that must be updated at every fork and
+// join *before program flow continues*, which makes explicit batching
+// impossible — and implicit batching exactly right. The English-Hebrew
+// SP-order scheme (Bender, Fineman, Gilbert, Leiserson, SPAA 2004) keeps
+// two such lists; examples/racedetect builds the detector on this
+// package.
+//
+// The sequential structure is the classic labeled list: each element
+// carries a 64-bit label, insert-after takes the midpoint of its
+// neighbors' labels, and when a gap is exhausted the whole list relabels
+// evenly (amortized O(1) per insert for the demo's purposes; a
+// production two-level scheme would bound the worst case).
+package omlist
+
+import "batcher/internal/sched"
+
+const spacing = uint64(1) << 32
+
+// Elem identifies a list element. The zero Elem is the list's permanent
+// origin element.
+type Elem int32
+
+type node struct {
+	label uint64
+	prev  Elem
+	next  Elem
+}
+
+// List is the sequential order-maintenance list. The origin element
+// (Elem 0) always exists and is the minimum of the order.
+type List struct {
+	nodes    []node
+	last     Elem
+	Relabels int // relabeling passes, for amortization tests
+}
+
+// NewList returns a list containing only the origin element.
+func NewList() *List {
+	return &List{nodes: []node{{label: 0, prev: -1, next: -1}}}
+}
+
+// Len returns the number of elements, including the origin.
+func (l *List) Len() int { return len(l.nodes) }
+
+// InsertAfter inserts a new element immediately after x and returns it.
+func (l *List) InsertAfter(x Elem) Elem {
+	nx := l.nodes[x].next
+	var label uint64
+	switch {
+	case nx == -1:
+		// Appending past the current maximum.
+		if l.nodes[x].label > ^uint64(0)-spacing {
+			l.relabel()
+		}
+		label = l.nodes[x].label + spacing
+	default:
+		lo, hi := l.nodes[x].label, l.nodes[nx].label
+		if hi-lo < 2 {
+			l.relabel()
+			lo, hi = l.nodes[x].label, l.nodes[nx].label
+		}
+		label = lo + (hi-lo)/2
+	}
+	id := Elem(len(l.nodes))
+	l.nodes = append(l.nodes, node{label: label, prev: x, next: nx})
+	l.nodes[x].next = id
+	if nx != -1 {
+		l.nodes[nx].prev = id
+	} else {
+		l.last = id
+	}
+	return id
+}
+
+// Before reports whether a precedes b in the list order. a == b yields
+// false.
+func (l *List) Before(a, b Elem) bool {
+	return l.nodes[a].label < l.nodes[b].label
+}
+
+// relabel redistributes labels evenly along the list.
+func (l *List) relabel() {
+	l.Relabels++
+	label := uint64(0)
+	for e := Elem(0); e != -1; e = l.nodes[e].next {
+		l.nodes[e].label = label
+		label += spacing
+	}
+}
+
+// order returns the elements in list order (testing helper).
+func (l *List) order() []Elem {
+	var out []Elem
+	for e := Elem(0); e != -1; e = l.nodes[e].next {
+		out = append(out, e)
+	}
+	return out
+}
+
+// --- batched wrapper --------------------------------------------------------
+
+// Operation kinds for the batched order-maintenance list.
+const (
+	// OpInsertAfter inserts after Elem(Key); the new Elem lands in Res.
+	OpInsertAfter sched.OpKind = iota
+	// OpBefore asks whether Elem(Key) precedes Elem(Val); Ok receives
+	// the answer.
+	OpBefore
+)
+
+// Batched is the implicitly batched order-maintenance list. Queries in a
+// batch linearize before the batch's inserts; inserts apply in
+// compaction order (concurrent inserts after the same element are
+// ordered arbitrarily, which is correct for SP-maintenance because a
+// sequential strand never forks twice concurrently).
+type Batched struct {
+	l *List
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns a batched list containing only the origin.
+func NewBatched() *Batched { return &Batched{l: NewList()} }
+
+// List exposes the underlying list for quiescent inspection.
+func (b *Batched) List() *List { return b.l }
+
+// InsertAfter inserts a new element after x. Core tasks only.
+func (b *Batched) InsertAfter(c *sched.Ctx, x Elem) Elem {
+	op := sched.OpRecord{DS: b, Kind: OpInsertAfter, Key: int64(x)}
+	c.Batchify(&op)
+	return Elem(op.Res)
+}
+
+// Before reports whether a precedes b. Core tasks only.
+func (b *Batched) Before(c *sched.Ctx, a, x Elem) bool {
+	op := sched.OpRecord{DS: b, Kind: OpBefore, Key: int64(a), Val: int64(x)}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// RunBatch implements sched.Batched.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	var queries, inserts []*sched.OpRecord
+	for _, op := range ops {
+		switch op.Kind {
+		case OpBefore:
+			queries = append(queries, op)
+		case OpInsertAfter:
+			inserts = append(inserts, op)
+		default:
+			panic("omlist: unknown op kind")
+		}
+	}
+	// Queries: read-only, fully parallel.
+	c.For(0, len(queries), 1, func(_ *sched.Ctx, i int) {
+		op := queries[i]
+		op.Ok = b.l.Before(Elem(op.Key), Elem(op.Val))
+	})
+	// Inserts: label assignment is structural; batches are at most P
+	// operations, so a sequential pass matches the prototype's style.
+	for _, op := range inserts {
+		op.Res = int64(b.l.InsertAfter(Elem(op.Key)))
+		op.Ok = true
+	}
+}

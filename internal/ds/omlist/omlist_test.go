@@ -1,0 +1,184 @@
+package omlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func TestInsertAfterOrigin(t *testing.T) {
+	l := NewList()
+	a := l.InsertAfter(0)
+	b := l.InsertAfter(0)
+	// b was inserted after origin, so order is origin, b, a.
+	if !l.Before(0, b) || !l.Before(b, a) {
+		t.Fatalf("order wrong: %v", l.order())
+	}
+	if l.Before(a, a) {
+		t.Fatal("Before(a,a) true")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestChainInserts(t *testing.T) {
+	l := NewList()
+	prev := Elem(0)
+	var elems []Elem
+	for i := 0; i < 1000; i++ {
+		prev = l.InsertAfter(prev)
+		elems = append(elems, prev)
+	}
+	for i := 1; i < len(elems); i++ {
+		if !l.Before(elems[i-1], elems[i]) {
+			t.Fatalf("chain order broken at %d", i)
+		}
+	}
+}
+
+func TestHotspotInsertsForceRelabel(t *testing.T) {
+	// Repeatedly inserting after the origin exhausts the gap between the
+	// origin and its successor, forcing relabels.
+	l := NewList()
+	var elems []Elem
+	for i := 0; i < 5000; i++ {
+		elems = append(elems, l.InsertAfter(0))
+	}
+	if l.Relabels == 0 {
+		t.Fatal("no relabels under hotspot inserts")
+	}
+	// Later inserts precede earlier ones (LIFO at the hotspot).
+	for i := 1; i < len(elems); i++ {
+		if !l.Before(elems[i], elems[i-1]) {
+			t.Fatalf("hotspot order broken at %d", i)
+		}
+	}
+}
+
+func TestQuickAgainstSliceOracle(t *testing.T) {
+	f := func(positions []uint8) bool {
+		l := NewList()
+		oracle := []Elem{0}
+		for _, p := range positions {
+			after := oracle[int(p)%len(oracle)]
+			e := l.InsertAfter(after)
+			// Insert into the oracle right after `after`.
+			for i, o := range oracle {
+				if o == after {
+					oracle = append(oracle[:i+1],
+						append([]Elem{e}, oracle[i+1:]...)...)
+					break
+				}
+			}
+		}
+		got := l.order()
+		if len(got) != len(oracle) {
+			return false
+		}
+		for i := range oracle {
+			if got[i] != oracle[i] {
+				return false
+			}
+		}
+		// All pairwise Before answers must match oracle positions.
+		pos := map[Elem]int{}
+		for i, o := range oracle {
+			pos[o] = i
+		}
+		for _, a := range oracle {
+			for _, b := range oracle {
+				if l.Before(a, b) != (pos[a] < pos[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedInsertAndQuery(t *testing.T) {
+	b := NewBatched()
+	rt := sched.New(sched.Config{Workers: 4, Seed: 81})
+	var chain []Elem
+	rt.Run(func(c *sched.Ctx) {
+		prev := Elem(0)
+		for i := 0; i < 200; i++ {
+			prev = b.InsertAfter(c, prev)
+			chain = append(chain, prev)
+		}
+	})
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, len(chain)-1, 1, func(cc *sched.Ctx, i int) {
+			if !b.Before(cc, chain[i], chain[i+1]) {
+				t.Errorf("Before(%d, %d) false", chain[i], chain[i+1])
+			}
+			if b.Before(cc, chain[i+1], chain[i]) {
+				t.Errorf("Before(%d, %d) true", chain[i+1], chain[i])
+			}
+		})
+	})
+}
+
+func TestBatchedParallelInsertsAfterDistinctElems(t *testing.T) {
+	// Build a spine sequentially, then insert after every spine element
+	// in parallel; each new element must sit between its spine element
+	// and the next.
+	b := NewBatched()
+	rt := sched.New(sched.Config{Workers: 8, Seed: 83})
+	const n = 300
+	spine := make([]Elem, n)
+	rt.Run(func(c *sched.Ctx) {
+		prev := Elem(0)
+		for i := 0; i < n; i++ {
+			prev = b.InsertAfter(c, prev)
+			spine[i] = prev
+		}
+	})
+	children := make([]Elem, n)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			children[i] = b.InsertAfter(cc, spine[i])
+		})
+	})
+	l := b.List()
+	for i := 0; i < n; i++ {
+		if !l.Before(spine[i], children[i]) {
+			t.Fatalf("child %d not after its spine element", i)
+		}
+		if i+1 < n && !l.Before(children[i], spine[i+1]) {
+			t.Fatalf("child %d not before next spine element", i)
+		}
+	}
+}
+
+func TestBatchedMixedLoad(t *testing.T) {
+	b := NewBatched()
+	rt := sched.New(sched.Config{Workers: 4, Seed: 85})
+	r := rng.New(5)
+	var elems []Elem
+	elems = append(elems, 0)
+	rt.Run(func(c *sched.Ctx) {
+		for i := 0; i < 2000; i++ {
+			if r.Intn(3) == 0 {
+				elems = append(elems, b.InsertAfter(c, elems[r.Intn(len(elems))]))
+			} else {
+				x := elems[r.Intn(len(elems))]
+				y := elems[r.Intn(len(elems))]
+				got := b.Before(c, x, y)
+				want := b.List().Before(x, y)
+				if got != want {
+					t.Fatalf("op %d: Before(%d,%d) = %v want %v", i, x, y, got, want)
+				}
+			}
+		}
+	})
+	if b.List().Len() != len(elems) {
+		t.Fatalf("Len = %d want %d", b.List().Len(), len(elems))
+	}
+}

@@ -1,0 +1,154 @@
+// Package pqueue implements a batched min-priority queue, the class of
+// structure the paper's introduction credits with provable bounds for
+// parallel shortest paths and minimum spanning tree (Brodal et al.,
+// Driscoll et al., Sanders). The implementation is a skew heap:
+//
+//   - a batch of x inserts first builds a heap of the batch with a
+//     parallel pairwise-meld reduction (O(x) work, polylog span), then
+//     melds it into the main heap with a single amortized O(lg n) meld;
+//   - a batch of delete-mins pops sequentially (each amortized O(lg n));
+//     within a batch, inserts linearize before delete-mins, so a
+//     delete-min can return an element inserted by the same batch.
+//
+// The Dijkstra example application (examples/dijkstra) drives this
+// structure through the BATCHER scheduler.
+package pqueue
+
+import "batcher/internal/sched"
+
+// Operation kinds for the batched priority queue.
+const (
+	// OpInsert inserts priority Key with payload Val.
+	OpInsert sched.OpKind = iota
+	// OpDeleteMin removes the minimum; Key receives its priority, Res
+	// its payload, Ok reports non-emptiness.
+	OpDeleteMin
+)
+
+type heapNode struct {
+	k, v int64
+	l, r *heapNode
+}
+
+// meld merges two skew heaps destructively (amortized O(lg n)).
+func meld(a, b *heapNode) *heapNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.k < a.k {
+		a, b = b, a
+	}
+	// Skew heap: meld into the right child, then swap children.
+	a.l, a.r = meld(a.r, b), a.l
+	return a
+}
+
+// Seq is the sequential skew-heap priority queue (baseline and oracle).
+type Seq struct {
+	root *heapNode
+	size int
+}
+
+// NewSeq returns an empty sequential priority queue.
+func NewSeq() *Seq { return &Seq{} }
+
+// Insert adds priority k with payload v.
+func (s *Seq) Insert(k, v int64) {
+	s.root = meld(s.root, &heapNode{k: k, v: v})
+	s.size++
+}
+
+// DeleteMin removes and returns the minimum-priority element.
+func (s *Seq) DeleteMin() (k, v int64, ok bool) {
+	if s.root == nil {
+		return 0, 0, false
+	}
+	n := s.root
+	s.root = meld(n.l, n.r)
+	s.size--
+	return n.k, n.v, true
+}
+
+// Min returns the minimum without removing it.
+func (s *Seq) Min() (k, v int64, ok bool) {
+	if s.root == nil {
+		return 0, 0, false
+	}
+	return s.root.k, s.root.v, true
+}
+
+// Len returns the number of elements.
+func (s *Seq) Len() int { return s.size }
+
+// Batched is the implicitly batched priority queue.
+type Batched struct {
+	h Seq
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns an empty batched priority queue.
+func NewBatched() *Batched { return &Batched{} }
+
+// Insert adds priority k with payload v. Core tasks only.
+func (b *Batched) Insert(c *sched.Ctx, k, v int64) {
+	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: k, Val: v}
+	c.Batchify(&op)
+}
+
+// DeleteMin removes and returns the minimum-priority element. Core tasks
+// only.
+func (b *Batched) DeleteMin(c *sched.Ctx) (k, v int64, ok bool) {
+	op := sched.OpRecord{DS: b, Kind: OpDeleteMin}
+	c.Batchify(&op)
+	return op.Key, op.Res, op.Ok
+}
+
+// Len returns the number of elements. Quiescent only.
+func (b *Batched) Len() int { return b.h.size }
+
+// RunBatch implements sched.Batched: build a heap of the batch's inserts
+// in parallel, meld it in, then serve the delete-mins.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	var inserts, dels []*sched.OpRecord
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			inserts = append(inserts, op)
+		case OpDeleteMin:
+			dels = append(dels, op)
+		default:
+			panic("pqueue: unknown op kind")
+		}
+	}
+	if len(inserts) > 0 {
+		b.h.root = meld(b.h.root, buildHeap(c, inserts))
+		b.h.size += len(inserts)
+	}
+	// Delete-mins are inherently sequential (each depends on the last),
+	// matching the amortized analysis; batches are at most P ops.
+	for _, op := range dels {
+		op.Key, op.Res, op.Ok = b.h.DeleteMin()
+	}
+}
+
+// buildHeap melds the batch's inserts pairwise with a parallel
+// fork-join reduction.
+func buildHeap(c *sched.Ctx, ops []*sched.OpRecord) *heapNode {
+	switch len(ops) {
+	case 0:
+		return nil
+	case 1:
+		return &heapNode{k: ops[0].Key, v: ops[0].Val}
+	}
+	mid := len(ops) / 2
+	var l, r *heapNode
+	c.Fork(
+		func(cc *sched.Ctx) { l = buildHeap(cc, ops[:mid]) },
+		func(cc *sched.Ctx) { r = buildHeap(cc, ops[mid:]) },
+	)
+	return meld(l, r)
+}

@@ -1,0 +1,146 @@
+// Package queue implements a batched FIFO queue: a circular array with
+// table doubling, the FIFO sibling of the paper's amortized LIFO stack
+// example (Section 3). A batch runs its ENQUEUE phase then its DEQUEUE
+// phase; both phases are parallel loops over disjoint slots, and resizes
+// rebuild the ring in parallel. The amortized profile matches the
+// stack's: Θ(x) work per size-x batch, occasional Θ(n) rebuild batches
+// whose dags have logarithmic span, hence s(n) = O(lg P) under
+// Theorem 1's amortized span definition.
+package queue
+
+import "batcher/internal/sched"
+
+// Operation kinds.
+const (
+	// OpEnqueue appends Val.
+	OpEnqueue sched.OpKind = iota
+	// OpDequeue removes the oldest element into Res; Ok reports
+	// non-emptiness.
+	OpDequeue
+)
+
+const minCap = 8
+
+// Batched is the implicitly batched FIFO queue.
+type Batched struct {
+	buf  []int64
+	head int // index of the oldest element
+	size int
+	// Resizes counts ring rebuilds.
+	Resizes int
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// New returns an empty batched queue.
+func New() *Batched { return &Batched{buf: make([]int64, minCap)} }
+
+// Enqueue appends v. Core tasks only.
+func (b *Batched) Enqueue(c *sched.Ctx, v int64) {
+	op := sched.OpRecord{DS: b, Kind: OpEnqueue, Val: v}
+	c.Batchify(&op)
+}
+
+// Dequeue removes and returns the oldest element; ok is false if the
+// queue was empty at this operation's turn in its batch. Core tasks
+// only.
+func (b *Batched) Dequeue(c *sched.Ctx) (v int64, ok bool) {
+	op := sched.OpRecord{DS: b, Kind: OpDequeue}
+	c.Batchify(&op)
+	return op.Res, op.Ok
+}
+
+// Len returns the element count. Quiescent only.
+func (b *Batched) Len() int { return b.size }
+
+// RunBatch implements sched.Batched: all enqueues (in compaction order),
+// then all dequeues.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	enqs := make([]*sched.OpRecord, 0, len(ops))
+	deqs := make([]*sched.OpRecord, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case OpEnqueue:
+			enqs = append(enqs, op)
+		case OpDequeue:
+			deqs = append(deqs, op)
+		default:
+			panic("queue: unknown op kind")
+		}
+	}
+
+	// ENQUEUE phase: grow if needed, then write disjoint slots in
+	// parallel.
+	if b.size+len(enqs) > len(b.buf) {
+		b.resize(c, b.size+len(enqs))
+	}
+	n, capacity := b.size, len(b.buf)
+	c.For(0, len(enqs), 64, func(_ *sched.Ctx, i int) {
+		b.buf[(b.head+n+i)%capacity] = enqs[i].Val
+		enqs[i].Ok = true
+	})
+	b.size += len(enqs)
+
+	// DEQUEUE phase: read disjoint slots from the head in parallel.
+	avail := b.size
+	c.For(0, len(deqs), 64, func(_ *sched.Ctx, i int) {
+		if i < avail {
+			deqs[i].Res = b.buf[(b.head+i)%capacity]
+			deqs[i].Ok = true
+		} else {
+			deqs[i].Res = 0
+			deqs[i].Ok = false
+		}
+	})
+	taken := len(deqs)
+	if taken > avail {
+		taken = avail
+	}
+	b.head = (b.head + taken) % capacity
+	b.size -= taken
+
+	// Shrink when under-occupied.
+	if len(b.buf) > minCap && b.size < len(b.buf)/4 {
+		b.resize(c, b.size)
+	}
+}
+
+// resize rebuilds the ring with the oldest element at index 0, at the
+// smallest power-of-two capacity holding need with slack. Parallel copy:
+// Θ(size) work, O(lg size) span.
+func (b *Batched) resize(c *sched.Ctx, need int) {
+	capacity := minCap
+	for capacity < 2*need {
+		capacity *= 2
+	}
+	fresh := make([]int64, capacity)
+	oldBuf, oldCap, oldHead := b.buf, len(b.buf), b.head
+	c.For(0, b.size, 512, func(_ *sched.Ctx, i int) {
+		fresh[i] = oldBuf[(oldHead+i)%oldCap]
+	})
+	b.buf = fresh
+	b.head = 0
+	b.Resizes++
+}
+
+// Seq is the sequential queue baseline.
+type Seq struct{ xs []int64 }
+
+// NewSeq returns an empty sequential queue.
+func NewSeq() *Seq { return &Seq{} }
+
+// Enqueue appends v.
+func (s *Seq) Enqueue(v int64) { s.xs = append(s.xs, v) }
+
+// Dequeue removes the oldest element.
+func (s *Seq) Dequeue() (int64, bool) {
+	if len(s.xs) == 0 {
+		return 0, false
+	}
+	v := s.xs[0]
+	s.xs = s.xs[1:]
+	return v, true
+}
+
+// Len returns the element count.
+func (s *Seq) Len() int { return len(s.xs) }

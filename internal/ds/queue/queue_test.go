@@ -1,0 +1,205 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func runOn(p int, f func(c *sched.Ctx)) {
+	rt := sched.New(sched.Config{Workers: p, Seed: 111})
+	rt.Run(f)
+}
+
+func TestEnqueueDequeueSingle(t *testing.T) {
+	b := New()
+	runOn(2, func(c *sched.Ctx) {
+		b.Enqueue(c, 42)
+		v, ok := b.Dequeue(c)
+		if !ok || v != 42 {
+			t.Errorf("Dequeue = %d,%v", v, ok)
+		}
+	})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestDequeueEmpty(t *testing.T) {
+	b := New()
+	runOn(2, func(c *sched.Ctx) {
+		if _, ok := b.Dequeue(c); ok {
+			t.Error("Dequeue on empty ok")
+		}
+	})
+}
+
+func TestFIFOOrderSerialChain(t *testing.T) {
+	// Serial chain forces singleton batches: exact FIFO semantics.
+	b := New()
+	runOn(4, func(c *sched.Ctx) {
+		for i := int64(0); i < 100; i++ {
+			b.Enqueue(c, i)
+		}
+		for i := int64(0); i < 100; i++ {
+			v, ok := b.Dequeue(c)
+			if !ok || v != i {
+				t.Errorf("Dequeue = %d,%v want %d", v, ok, i)
+				return
+			}
+		}
+	})
+}
+
+func TestWraparound(t *testing.T) {
+	b := New()
+	runOn(2, func(c *sched.Ctx) {
+		// Fill and drain repeatedly so head wraps the ring many times.
+		for round := int64(0); round < 50; round++ {
+			for i := int64(0); i < 5; i++ {
+				b.Enqueue(c, round*10+i)
+			}
+			for i := int64(0); i < 5; i++ {
+				v, ok := b.Dequeue(c)
+				if !ok || v != round*10+i {
+					t.Errorf("round %d: Dequeue = %d,%v", round, v, ok)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestParallelEnqueuesAllArrive(t *testing.T) {
+	for _, p := range []int{1, 4, 8} {
+		b := New()
+		const n = 2000
+		runOn(p, func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Enqueue(cc, int64(i)) })
+		})
+		if b.Len() != n {
+			t.Fatalf("P=%d: Len = %d", p, b.Len())
+		}
+		if b.Resizes == 0 {
+			t.Fatalf("P=%d: no resizes", p)
+		}
+		// Drain: each value exactly once.
+		got := make([]int64, 0, n)
+		runOn(p, func(c *sched.Ctx) {
+			for i := 0; i < n; i++ {
+				v, ok := b.Dequeue(c)
+				if !ok {
+					t.Fatalf("premature empty at %d", i)
+				}
+				got = append(got, v)
+			}
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := range got {
+			if got[i] != int64(i) {
+				t.Fatalf("P=%d: missing %d", p, i)
+			}
+		}
+	}
+}
+
+func TestShrinkAfterDrain(t *testing.T) {
+	b := New()
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, 1000, 1, func(cc *sched.Ctx, i int) { b.Enqueue(cc, 1) })
+	})
+	grown := len(b.buf)
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, 1000, 1, func(cc *sched.Ctx, i int) { b.Dequeue(cc) })
+	})
+	if len(b.buf) >= grown {
+		t.Fatalf("ring did not shrink: %d -> %d", grown, len(b.buf))
+	}
+}
+
+func TestQuickAgainstSeqOracle(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 3, Seed: 113})
+	f := func(ops []int16) bool {
+		b := New()
+		s := NewSeq()
+		okAll := true
+		rt.Run(func(c *sched.Ctx) {
+			for _, o := range ops {
+				if o >= 0 {
+					b.Enqueue(c, int64(o))
+					s.Enqueue(int64(o))
+				} else {
+					bv, bok := b.Dequeue(c)
+					sv, sok := s.Dequeue()
+					if bv != sv || bok != sok {
+						okAll = false
+						return
+					}
+				}
+			}
+		})
+		return okAll && b.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedBatchConservation(t *testing.T) {
+	b := New()
+	r := rng.New(7)
+	const n = 800
+	kinds := make([]bool, n)
+	enqs := 0
+	for i := range kinds {
+		kinds[i] = r.Bool()
+		if kinds[i] {
+			enqs++
+		}
+	}
+	vals := make([]int64, n)
+	oks := make([]bool, n)
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			if kinds[i] {
+				b.Enqueue(cc, int64(i))
+			} else {
+				vals[i], oks[i] = b.Dequeue(cc)
+			}
+		})
+	})
+	seen := map[int64]bool{}
+	got := 0
+	for i := range vals {
+		if kinds[i] || !oks[i] {
+			continue
+		}
+		got++
+		v := vals[i]
+		if v < 0 || v >= n || !kinds[v] || seen[v] {
+			t.Fatalf("dequeued impossible/duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if b.Len() != enqs-got {
+		t.Fatalf("Len = %d want %d", b.Len(), enqs-got)
+	}
+}
+
+func TestSeqQueue(t *testing.T) {
+	s := NewSeq()
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("empty Dequeue ok")
+	}
+	s.Enqueue(1)
+	s.Enqueue(2)
+	if v, ok := s.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

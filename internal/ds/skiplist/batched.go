@@ -1,0 +1,218 @@
+package skiplist
+
+import (
+	"sort"
+
+	"batcher/internal/sched"
+)
+
+// Operation kinds for the batched skip list.
+const (
+	// OpInsert inserts Key with value Val; Ok reports "newly inserted".
+	OpInsert sched.OpKind = iota
+	// OpContains looks up Key; Ok reports presence, Res holds the value.
+	OpContains
+	// OpDelete removes Key; Ok reports "was present".
+	OpDelete
+	// OpInsertMany inserts every key in Aux.([]int64) with value Val.
+	// This reproduces the paper's experimental setup, where "each
+	// BATCHIFY call creates 100 insertion records" to simulate larger
+	// batches; Res receives the number of keys newly inserted.
+	OpInsertMany
+	// OpSucc finds the smallest key >= Key: the key lands in Key, the
+	// value in Res, and Ok reports existence.
+	OpSucc
+)
+
+// Batched is the implicitly batched skip list.
+type Batched struct {
+	l *List
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns an empty batched skip list with the given height
+// seed.
+func NewBatched(seed uint64) *Batched { return &Batched{l: NewList(seed)} }
+
+// List exposes the underlying list for quiescent inspection (tests,
+// initialization before a run).
+func (b *Batched) List() *List { return b.l }
+
+// Insert adds key/val; reports whether key was newly inserted. Core
+// tasks only.
+func (b *Batched) Insert(c *sched.Ctx, key, val int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// InsertMany adds all keys with value val, returning how many were newly
+// inserted. It is the multi-record operation of the paper's Section 7
+// experiment. Core tasks only.
+func (b *Batched) InsertMany(c *sched.Ctx, keys []int64, val int64) int {
+	op := sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
+	c.Batchify(&op)
+	return int(op.Res)
+}
+
+// Contains looks up key. Core tasks only.
+func (b *Batched) Contains(c *sched.Ctx, key int64) (int64, bool) {
+	op := sched.OpRecord{DS: b, Kind: OpContains, Key: key}
+	c.Batchify(&op)
+	return op.Res, op.Ok
+}
+
+// Succ returns the smallest key >= key with its value, or ok=false. Core
+// tasks only.
+func (b *Batched) Succ(c *sched.Ctx, key int64) (k, v int64, ok bool) {
+	op := sched.OpRecord{DS: b, Kind: OpSucc, Key: key}
+	c.Batchify(&op)
+	return op.Key, op.Res, op.Ok
+}
+
+// Delete removes key, reporting whether it was present. Core tasks only.
+func (b *Batched) Delete(c *sched.Ctx, key int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// insertReq is one key's insertion work item within a batch.
+type insertReq struct {
+	key, val int64
+	op       *sched.OpRecord // nil for the tail keys of an OpInsertMany
+	preds    []*node
+}
+
+// RunBatch implements sched.Batched. The batch linearizes as: all
+// Contains ops (against the pre-batch state), then all inserts in key
+// order, then all deletes in key order. Each phase searches in parallel;
+// structural modification is sequential, as in the paper's prototype.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	var lookups, succs, deletes []*sched.OpRecord
+	var inserts []insertReq
+	for _, op := range ops {
+		switch op.Kind {
+		case OpContains:
+			lookups = append(lookups, op)
+		case OpSucc:
+			succs = append(succs, op)
+		case OpDelete:
+			deletes = append(deletes, op)
+		case OpInsert:
+			inserts = append(inserts, insertReq{key: op.Key, val: op.Val, op: op})
+		case OpInsertMany:
+			keys := op.Aux.([]int64)
+			for _, k := range keys {
+				// Every key carries its record so Res can accumulate the
+				// number of newly inserted keys.
+				inserts = append(inserts, insertReq{key: k, val: op.Val, op: op})
+			}
+			op.Res = 0
+		default:
+			panic("skiplist: unknown op kind")
+		}
+	}
+
+	// Phase 1: lookups and successor queries, fully parallel, read-only.
+	c.For(0, len(lookups), 1, func(_ *sched.Ctx, i int) {
+		lookups[i].Res, lookups[i].Ok = b.l.Contains(lookups[i].Key)
+	})
+	c.For(0, len(succs), 1, func(_ *sched.Ctx, i int) {
+		op := succs[i]
+		op.Key, op.Res, op.Ok = b.l.Succ(op.Key)
+	})
+
+	// Phase 2: inserts.
+	b.runInserts(c, inserts, ops)
+
+	// Phase 3: deletes.
+	b.runDeletes(c, deletes)
+}
+
+func (b *Batched) runInserts(c *sched.Ctx, inserts []insertReq, ops []*sched.OpRecord) {
+	if len(inserts) == 0 {
+		return
+	}
+	// Step 1 (sequential): order the batch by key. Stable so that when a
+	// key appears twice in one batch, the earlier record in compaction
+	// order performs the insert and later ones become updates.
+	sort.SliceStable(inserts, func(i, j int) bool { return inserts[i].key < inserts[j].key })
+
+	// Step 2 (parallel): search the main list for each key's predecessor
+	// tower. Read-only on the main list.
+	c.For(0, len(inserts), 1, func(_ *sched.Ctx, i int) {
+		preds := make([]*node, maxLevel)
+		b.l.searchPreds(inserts[i].key, preds)
+		inserts[i].preds = preds
+	})
+
+	// Step 3 (sequential): splice in ascending key order. Earlier splices
+	// can invalidate saved predecessors only by inserting nodes with
+	// smaller keys, so advancing each saved predecessor forward restores
+	// correctness at amortized O(1) per level.
+	countNew := func(r *insertReq) {
+		if r.op == nil {
+			return
+		}
+		switch r.op.Kind {
+		case OpInsert:
+			r.op.Ok = true
+		case OpInsertMany:
+			r.op.Res++
+		}
+	}
+	for i := range inserts {
+		r := &inserts[i]
+		key := r.key
+		for lv := 0; lv < maxLevel; lv++ {
+			p := r.preds[lv]
+			for p.next[lv] != nil && p.next[lv].key < key {
+				p = p.next[lv]
+			}
+			r.preds[lv] = p
+		}
+		if nxt := r.preds[0].next[0]; nxt != nil && nxt.key == key {
+			nxt.val = r.val // duplicate: update in place
+			if r.op != nil && r.op.Kind == OpInsert {
+				r.op.Ok = false
+			}
+			continue
+		}
+		b.l.link(key, r.val, r.preds)
+		countNew(r)
+	}
+	// InsertMany records that contributed only duplicate keys still need
+	// Ok set; define Ok as "at least one key newly inserted".
+	for _, op := range ops {
+		if op.Kind == OpInsertMany {
+			op.Ok = op.Res > 0
+		}
+	}
+}
+
+func (b *Batched) runDeletes(c *sched.Ctx, deletes []*sched.OpRecord) {
+	if len(deletes) == 0 {
+		return
+	}
+	// Descending key order: a saved predecessor of key k has key < k,
+	// while every node already unlinked in this phase has key > k — so
+	// saved predecessors are always live and their current next pointers
+	// reflect prior unlinks.
+	sort.Slice(deletes, func(i, j int) bool { return deletes[i].Key > deletes[j].Key })
+	preds := make([][]*node, len(deletes))
+	c.For(0, len(deletes), 1, func(_ *sched.Ctx, i int) {
+		preds[i] = make([]*node, maxLevel)
+		b.l.searchPreds(deletes[i].Key, preds[i])
+	})
+	for i, op := range deletes {
+		target := preds[i][0].next[0]
+		if target == nil || target.key != op.Key {
+			op.Ok = false // absent, or a duplicate delete already took it
+			continue
+		}
+		b.l.unlink(target, preds[i])
+		op.Ok = true
+	}
+}

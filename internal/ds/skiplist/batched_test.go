@@ -1,0 +1,291 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func runOn(p int, f func(c *sched.Ctx)) {
+	rt := sched.New(sched.Config{Workers: p, Seed: 1})
+	rt.Run(f)
+}
+
+func TestBatchedSingleInsert(t *testing.T) {
+	b := NewBatched(1)
+	runOn(2, func(c *sched.Ctx) {
+		if !b.Insert(c, 7, 70) {
+			t.Error("insert not new")
+		}
+		if b.Insert(c, 7, 71) {
+			t.Error("duplicate insert reported new")
+		}
+		v, ok := b.Contains(c, 7)
+		if !ok || v != 71 {
+			t.Errorf("Contains = %d,%v", v, ok)
+		}
+	})
+	if b.List().Len() != 1 {
+		t.Fatalf("Len = %d", b.List().Len())
+	}
+}
+
+func TestBatchedParallelInserts(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b := NewBatched(2)
+		const n = 2000
+		runOn(p, func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+				b.Insert(cc, int64(i*7%n), int64(i))
+			})
+		})
+		keys := b.List().Keys()
+		// i*7 mod n: gcd(7, 2000) = 1, so all n keys distinct.
+		if len(keys) != n {
+			t.Fatalf("P=%d: %d keys, want %d", p, len(keys), n)
+		}
+		if err := b.List().checkInvariants(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBatchedDuplicateKeysWithinRun(t *testing.T) {
+	b := NewBatched(3)
+	const n = 1000
+	newCount := 0
+	results := make([]bool, n)
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			results[i] = b.Insert(cc, int64(i%50), int64(i))
+		})
+	})
+	for _, r := range results {
+		if r {
+			newCount++
+		}
+	}
+	if newCount != 50 {
+		t.Fatalf("%d inserts reported new, want 50", newCount)
+	}
+	if b.List().Len() != 50 {
+		t.Fatalf("Len = %d, want 50", b.List().Len())
+	}
+}
+
+func TestBatchedMatchesSequentialStructure(t *testing.T) {
+	// Same seed + same key set => identical tower structure, so Keys()
+	// and invariants must match a sequential build exactly.
+	seq := NewList(5)
+	bat := NewBatched(5)
+	r := rng.New(55)
+	keys := make([]int64, 3000)
+	for i := range keys {
+		keys[i] = r.Int63() % 10000
+	}
+	for _, k := range keys {
+		seq.Insert(k, k)
+	}
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, len(keys), 1, func(cc *sched.Ctx, i int) {
+			bat.Insert(cc, keys[i], keys[i])
+		})
+	})
+	sk, bk := seq.Keys(), bat.List().Keys()
+	if len(sk) != len(bk) {
+		t.Fatalf("len %d vs %d", len(sk), len(bk))
+	}
+	for i := range sk {
+		if sk[i] != bk[i] {
+			t.Fatalf("key %d: %d vs %d", i, sk[i], bk[i])
+		}
+	}
+	if err := bat.List().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedInsertMany(t *testing.T) {
+	b := NewBatched(7)
+	const groups = 50
+	const per = 100
+	newTotals := make([]int, groups)
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, groups, 1, func(cc *sched.Ctx, g int) {
+			keys := make([]int64, per)
+			for i := range keys {
+				keys[i] = int64(g*per + i)
+			}
+			newTotals[g] = b.InsertMany(cc, keys, 1)
+		})
+	})
+	total := 0
+	for _, n := range newTotals {
+		total += n
+	}
+	if total != groups*per {
+		t.Fatalf("new inserts = %d, want %d", total, groups*per)
+	}
+	if b.List().Len() != groups*per {
+		t.Fatalf("Len = %d", b.List().Len())
+	}
+	if err := b.List().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedInsertManyOverlapping(t *testing.T) {
+	b := NewBatched(8)
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, 40, 1, func(cc *sched.Ctx, g int) {
+			keys := make([]int64, 25)
+			for i := range keys {
+				keys[i] = int64(i) // all groups share the same 25 keys
+			}
+			b.InsertMany(cc, keys, int64(g))
+		})
+	})
+	if b.List().Len() != 25 {
+		t.Fatalf("Len = %d, want 25", b.List().Len())
+	}
+}
+
+func TestBatchedDeletes(t *testing.T) {
+	b := NewBatched(9)
+	const n = 1000
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Insert(cc, int64(i), 0) })
+	})
+	deleted := make([]bool, n)
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			if i%2 == 0 {
+				deleted[i] = b.Delete(cc, int64(i))
+			}
+		})
+	})
+	for i := 0; i < n; i += 2 {
+		if !deleted[i] {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if b.List().Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", b.List().Len(), n/2)
+	}
+	for _, k := range b.List().Keys() {
+		if k%2 == 0 {
+			t.Fatalf("even key %d survived", k)
+		}
+	}
+	if err := b.List().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedDeleteAdjacentRuns(t *testing.T) {
+	// Deleting contiguous key ranges stresses the descending-order splice
+	// correctness (predecessor-of-predecessor chains).
+	b := NewBatched(10)
+	const n = 512
+	runOn(4, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Insert(cc, int64(i), 0) })
+	})
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			if i >= 100 && i < 400 {
+				b.Delete(cc, int64(i))
+			}
+		})
+	})
+	keys := b.List().Keys()
+	if len(keys) != n-300 {
+		t.Fatalf("Len = %d, want %d", len(keys), n-300)
+	}
+	for _, k := range keys {
+		if k >= 100 && k < 400 {
+			t.Fatalf("key %d survived range delete", k)
+		}
+	}
+	if err := b.List().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedMixedOpsAgainstOracle(t *testing.T) {
+	// Sequential dependency chain (m = n) forces singleton batches, so the
+	// batched list must track a map oracle exactly, op by op.
+	b := NewBatched(11)
+	m := map[int64]int64{}
+	r := rng.New(77)
+	runOn(4, func(c *sched.Ctx) {
+		for i := 0; i < 3000; i++ {
+			k := r.Int63() % 300
+			switch r.Intn(3) {
+			case 0:
+				_, existed := m[k]
+				if b.Insert(c, k, int64(i)) == existed {
+					t.Fatalf("op %d: insert(%d) new-flag mismatch", i, k)
+				}
+				m[k] = int64(i)
+			case 1:
+				wantV, wantOK := m[k]
+				gotV, gotOK := b.Contains(c, k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					t.Fatalf("op %d: contains(%d) = %d,%v want %d,%v", i, k, gotV, gotOK, wantV, wantOK)
+				}
+			case 2:
+				_, existed := m[k]
+				if b.Delete(c, k) != existed {
+					t.Fatalf("op %d: delete(%d) mismatch", i, k)
+				}
+				delete(m, k)
+			}
+		}
+	})
+	if b.List().Len() != len(m) {
+		t.Fatalf("Len = %d, want %d", b.List().Len(), len(m))
+	}
+	var mk []int64
+	for k := range m {
+		mk = append(mk, k)
+	}
+	sort.Slice(mk, func(i, j int) bool { return mk[i] < mk[j] })
+	lk := b.List().Keys()
+	for i := range mk {
+		if lk[i] != mk[i] {
+			t.Fatalf("key %d: %d vs %d", i, lk[i], mk[i])
+		}
+	}
+}
+
+func TestBatchedConcurrentMixedConservation(t *testing.T) {
+	// Fully parallel mixed ops: we cannot predict interleaving, but the
+	// final key set must equal {inserted keys} minus {successfully
+	// deleted keys}, and invariants must hold.
+	b := NewBatched(12)
+	const n = 1200
+	delOK := make([]bool, n)
+	runOn(8, func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			k := int64(i % 200)
+			switch i % 3 {
+			case 0:
+				b.Insert(cc, k, int64(i))
+			case 1:
+				b.Contains(cc, k)
+			case 2:
+				delOK[i] = b.Delete(cc, k)
+			}
+		})
+	})
+	if err := b.List().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range b.List().Keys() {
+		if k < 0 || k >= 200 {
+			t.Fatalf("impossible key %d", k)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package skiplist implements the skip list used in the paper's
+// experimental evaluation (Section 7), in two forms: a sequential skip
+// list (the paper's SEQ baseline, no concurrency control) and an
+// implicitly batched skip list whose batched insert follows the paper's
+// three-step BOP:
+//
+//  1. build the set of new nodes from the batch's records (sequential —
+//     the batch is small),
+//  2. search the main list for every key's insertion point, in parallel
+//     (the dominant O(x lg n)-work step),
+//  3. splice the new nodes into the main list (sequential).
+//
+// A size-x batch into a size-N list therefore has O(x lg N) work and
+// O(lg N + x) span; with x <= P this matches the profile the paper's
+// skip-list experiment exercises.
+//
+// Node heights are derived deterministically from a hash of the key so
+// that sequential and batched executions of the same key set build
+// structurally identical lists — which keeps the SEQ-vs-BATCHER
+// comparison apples-to-apples and makes tests reproducible.
+package skiplist
+
+import (
+	"math/bits"
+
+	"batcher/internal/rng"
+)
+
+// maxLevel bounds tower heights; 2^32 keys would be needed to saturate it.
+const maxLevel = 32
+
+type node struct {
+	key  int64
+	val  int64
+	next []*node
+}
+
+// List is a sequential skip list mapping int64 keys to int64 values.
+type List struct {
+	head     *node
+	size     int
+	level    int // number of levels in use (>= 1)
+	hashSeed uint64
+}
+
+// NewList returns an empty sequential skip list. seed fixes the (hash
+// derived) tower heights.
+func NewList(seed uint64) *List {
+	return &List{
+		head:     &node{next: make([]*node, maxLevel)},
+		level:    1,
+		hashSeed: seed,
+	}
+}
+
+// height returns the deterministic tower height (in [1, maxLevel]) for a
+// key: 1 + the number of leading coin-flip heads, with the coin flips
+// taken from a SplitMix64 hash of the key.
+func (l *List) height(key int64) int {
+	st := uint64(key) ^ l.hashSeed
+	h := rng.SplitMix64(&st)
+	lvl := 1 + bits.TrailingZeros64(h|1<<(maxLevel-1))
+	if lvl > maxLevel {
+		lvl = maxLevel
+	}
+	return lvl
+}
+
+// searchPreds fills preds with, for each level, the rightmost node whose
+// key is strictly less than key. preds must have length maxLevel.
+func (l *List) searchPreds(key int64, preds []*node) {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].key < key {
+			x = x.next[lv]
+		}
+		preds[lv] = x
+	}
+	for lv := l.level; lv < maxLevel; lv++ {
+		preds[lv] = l.head
+	}
+}
+
+// Insert adds key with val, or updates val if key is present. It returns
+// true if the key was newly inserted.
+func (l *List) Insert(key, val int64) bool {
+	var preds [maxLevel]*node
+	l.searchPreds(key, preds[:])
+	if nxt := preds[0].next[0]; nxt != nil && nxt.key == key {
+		nxt.val = val
+		return false
+	}
+	l.link(key, val, preds[:])
+	return true
+}
+
+// link splices a new node for key behind the given predecessors.
+func (l *List) link(key, val int64, preds []*node) {
+	h := l.height(key)
+	if h > l.level {
+		l.level = h
+	}
+	n := &node{key: key, val: val, next: make([]*node, h)}
+	for lv := 0; lv < h; lv++ {
+		n.next[lv] = preds[lv].next[lv]
+		preds[lv].next[lv] = n
+	}
+	l.size++
+}
+
+// Contains reports whether key is present and returns its value.
+func (l *List) Contains(key int64) (int64, bool) {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].key < key {
+			x = x.next[lv]
+		}
+	}
+	if nxt := x.next[0]; nxt != nil && nxt.key == key {
+		return nxt.val, true
+	}
+	return 0, false
+}
+
+// Succ returns the smallest key >= key (and its value), or ok=false if
+// no such key exists.
+func (l *List) Succ(key int64) (k, v int64, ok bool) {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].key < key {
+			x = x.next[lv]
+		}
+	}
+	if nxt := x.next[0]; nxt != nil {
+		return nxt.key, nxt.val, true
+	}
+	return 0, 0, false
+}
+
+// Delete removes key if present, reporting whether it was.
+func (l *List) Delete(key int64) bool {
+	var preds [maxLevel]*node
+	l.searchPreds(key, preds[:])
+	target := preds[0].next[0]
+	if target == nil || target.key != key {
+		return false
+	}
+	l.unlink(target, preds[:])
+	return true
+}
+
+// unlink detaches target given its predecessor tower.
+func (l *List) unlink(target *node, preds []*node) {
+	for lv := 0; lv < len(target.next); lv++ {
+		if preds[lv].next[lv] == target {
+			preds[lv].next[lv] = target.next[lv]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.size--
+}
+
+// Len returns the number of keys.
+func (l *List) Len() int { return l.size }
+
+// Keys returns all keys in ascending order (testing/verification helper).
+func (l *List) Keys() []int64 {
+	out := make([]int64, 0, l.size)
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.key)
+	}
+	return out
+}
+
+// checkInvariants walks every level verifying sorted order and that each
+// level's nodes are a subsequence of level 0. Used by tests.
+func (l *List) checkInvariants() error {
+	for lv := 0; lv < l.level; lv++ {
+		prev := int64(-1 << 62)
+		for x := l.head.next[lv]; x != nil; x = x.next[lv] {
+			if x.key <= prev {
+				return errOutOfOrder{lv, prev, x.key}
+			}
+			prev = x.key
+		}
+	}
+	return nil
+}
+
+type errOutOfOrder struct {
+	level     int
+	prev, cur int64
+}
+
+func (e errOutOfOrder) Error() string { return "skiplist: keys out of order" }

@@ -1,0 +1,182 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+)
+
+func TestSeqInsertContains(t *testing.T) {
+	l := NewList(1)
+	if !l.Insert(5, 50) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if l.Insert(5, 55) {
+		t.Fatal("duplicate insert reported new")
+	}
+	v, ok := l.Contains(5)
+	if !ok || v != 55 {
+		t.Fatalf("Contains(5) = %d,%v", v, ok)
+	}
+	if _, ok := l.Contains(6); ok {
+		t.Fatal("Contains(6) true on absent key")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSeqDelete(t *testing.T) {
+	l := NewList(2)
+	for i := int64(0); i < 100; i++ {
+		l.Insert(i, i)
+	}
+	if !l.Delete(50) {
+		t.Fatal("Delete(50) failed")
+	}
+	if l.Delete(50) {
+		t.Fatal("second Delete(50) succeeded")
+	}
+	if _, ok := l.Contains(50); ok {
+		t.Fatal("50 still present")
+	}
+	if l.Len() != 99 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqOrderedKeys(t *testing.T) {
+	l := NewList(3)
+	r := rng.New(7)
+	const n = 5000
+	want := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		k := r.Int63() % 2000
+		l.Insert(k, k)
+		want[k] = true
+	}
+	keys := l.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Len = %d, want %d", len(keys), len(want))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("keys not strictly ascending")
+		}
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightDeterministic(t *testing.T) {
+	a, b := NewList(9), NewList(9)
+	for k := int64(0); k < 1000; k++ {
+		if a.height(k) != b.height(k) {
+			t.Fatalf("height(%d) differs across same-seed lists", k)
+		}
+	}
+	c := NewList(10)
+	diff := 0
+	for k := int64(0); k < 1000; k++ {
+		if a.height(k) != c.height(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds gave identical heights for 1000 keys")
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	l := NewList(11)
+	counts := map[int]int{}
+	const n = 100000
+	for k := int64(0); k < n; k++ {
+		counts[l.height(k)]++
+	}
+	// P(height = 1) = 1/2.
+	frac := float64(counts[1]) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("P(height=1) = %v, want ~0.5", frac)
+	}
+	if counts[maxLevel+1] != 0 {
+		t.Fatal("height exceeded maxLevel")
+	}
+}
+
+func TestQuickSeqAgainstMap(t *testing.T) {
+	f := func(keys []int16, dels []int16) bool {
+		l := NewList(13)
+		m := map[int64]int64{}
+		for i, k16 := range keys {
+			k := int64(k16)
+			newIns := l.Insert(k, int64(i))
+			_, existed := m[k]
+			if newIns == existed {
+				return false
+			}
+			m[k] = int64(i)
+		}
+		for _, k16 := range dels {
+			k := int64(k16)
+			_, existed := m[k]
+			if l.Delete(k) != existed {
+				return false
+			}
+			delete(m, k)
+		}
+		if l.Len() != len(m) {
+			return false
+		}
+		for k, v := range m {
+			got, ok := l.Contains(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return l.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyListQueries(t *testing.T) {
+	l := NewList(17)
+	if _, ok := l.Contains(1); ok {
+		t.Fatal("Contains on empty")
+	}
+	if l.Delete(1) {
+		t.Fatal("Delete on empty")
+	}
+	if len(l.Keys()) != 0 {
+		t.Fatal("Keys on empty")
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	l := NewList(19)
+	keys := []int64{-1 << 60, -1, 0, 1, 1 << 60}
+	for _, k := range keys {
+		l.Insert(k, k)
+	}
+	got := l.Keys()
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package skiplist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/sched"
+)
+
+func TestSuccSeq(t *testing.T) {
+	l := NewList(61)
+	for i := int64(0); i < 100; i += 10 {
+		l.Insert(i, i*2)
+	}
+	cases := []struct {
+		q      int64
+		wantK  int64
+		wantOK bool
+	}{
+		{-5, 0, true},
+		{0, 0, true},
+		{1, 10, true},
+		{10, 10, true},
+		{89, 90, true},
+		{90, 90, true},
+		{91, 0, false},
+		{1000, 0, false},
+	}
+	for _, tc := range cases {
+		k, v, ok := l.Succ(tc.q)
+		if ok != tc.wantOK || (ok && (k != tc.wantK || v != tc.wantK*2)) {
+			t.Fatalf("Succ(%d) = %d,%d,%v want %d,%v", tc.q, k, v, ok, tc.wantK, tc.wantOK)
+		}
+	}
+}
+
+func TestSuccEmpty(t *testing.T) {
+	l := NewList(62)
+	if _, _, ok := l.Succ(0); ok {
+		t.Fatal("Succ on empty list")
+	}
+}
+
+func TestQuickSuccAgainstScan(t *testing.T) {
+	f := func(keys []int16, q16 int16) bool {
+		l := NewList(63)
+		q := int64(q16)
+		best := int64(1<<62 - 1)
+		found := false
+		for _, k16 := range keys {
+			k := int64(k16)
+			l.Insert(k, k)
+			if k >= q && k < best {
+				best, found = k, true
+			}
+		}
+		k, _, ok := l.Succ(q)
+		if ok != found {
+			return false
+		}
+		return !ok || k == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedSucc(t *testing.T) {
+	b := NewBatched(64)
+	rt := sched.New(sched.Config{Workers: 4, Seed: 65})
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 1000, 1, func(cc *sched.Ctx, i int) {
+			b.Insert(cc, int64(i*3), int64(i)) // multiples of 3
+		})
+	})
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 500, 1, func(cc *sched.Ctx, i int) {
+			q := int64(i * 6) // even multiples: exact hits
+			k, _, ok := b.Succ(cc, q)
+			if !ok || k != q {
+				t.Errorf("Succ(%d) = %d,%v", q, k, ok)
+			}
+			k, _, ok = b.Succ(cc, q+1) // between keys
+			if !ok || k != q+3 {
+				t.Errorf("Succ(%d) = %d,%v want %d", q+1, k, ok, q+3)
+			}
+		})
+	})
+	rt.Run(func(c *sched.Ctx) {
+		if _, _, ok := b.Succ(c, 3*1000); ok {
+			t.Error("Succ past the maximum returned ok")
+		}
+	})
+}

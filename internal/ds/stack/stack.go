@@ -1,0 +1,145 @@
+// Package stack implements the paper's amortized batched LIFO stack
+// (Section 3): an array with table doubling, rebuilt in parallel whenever
+// it becomes too full or too empty. A batch is processed as a PUSH phase
+// followed by a POP phase. The amortized work of a size-x batch is Θ(x)
+// (so W(n) = Θ(n)), an individual batch can cost Θ(n) when a resize
+// occurs, and every batch dag with batch work w has span O(lg w) — the
+// amortized profile the paper uses to derive s(n) = O(lg P).
+package stack
+
+import "batcher/internal/sched"
+
+// Operation kinds.
+const (
+	// OpPush pushes Val onto the stack.
+	OpPush sched.OpKind = iota
+	// OpPop pops the top element into Res; Ok reports non-emptiness.
+	OpPop
+)
+
+const minCap = 8
+
+// Batched is the implicitly batched LIFO stack.
+type Batched struct {
+	buf  []int64
+	size int
+	// Resizes counts table rebuilds, exposed for the amortization tests
+	// and the ablation benchmarks.
+	Resizes int
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// New returns an empty batched stack.
+func New() *Batched { return &Batched{buf: make([]int64, minCap)} }
+
+// Push pushes v. Core tasks only.
+func (b *Batched) Push(c *sched.Ctx, v int64) {
+	op := sched.OpRecord{DS: b, Kind: OpPush, Val: v}
+	c.Batchify(&op)
+}
+
+// Pop pops and returns the top element; ok is false if the stack was
+// empty when this operation's turn came within its batch's POP phase.
+// Core tasks only.
+func (b *Batched) Pop(c *sched.Ctx) (v int64, ok bool) {
+	op := sched.OpRecord{DS: b, Kind: OpPop}
+	c.Batchify(&op)
+	return op.Res, op.Ok
+}
+
+// Len returns the current number of elements. Quiescent only.
+func (b *Batched) Len() int { return b.size }
+
+// RunBatch performs the batch: all pushes, then all pops. Within one
+// batch the pushes are mutually unordered (they land in compaction
+// order) and each pop takes the then-top element; this realizes a legal
+// linearization of the concurrent operations in the batch.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	// Partition into pushes and pops, preserving order. Batches hold at
+	// most P records, so the partition is cheap relative to the phases.
+	pushes := make([]*sched.OpRecord, 0, len(ops))
+	pops := make([]*sched.OpRecord, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPush:
+			pushes = append(pushes, op)
+		case OpPop:
+			pops = append(pops, op)
+		default:
+			panic("stack: unknown op kind")
+		}
+	}
+
+	// PUSH phase. Grow (rebuild in parallel) if n + x does not fit.
+	need := b.size + len(pushes)
+	if need > len(b.buf) {
+		b.resize(c, need)
+	}
+	base := b.size
+	c.For(0, len(pushes), 64, func(_ *sched.Ctx, i int) {
+		b.buf[base+i] = pushes[i].Val
+		pushes[i].Ok = true
+	})
+	b.size = need
+
+	// POP phase: pop i takes the (top - i)-th element, in parallel.
+	taking := len(pops)
+	if taking > b.size {
+		taking = b.size
+	}
+	top := b.size
+	c.For(0, len(pops), 64, func(_ *sched.Ctx, i int) {
+		idx := top - 1 - i
+		if idx >= 0 {
+			pops[i].Res = b.buf[idx]
+			pops[i].Ok = true
+		} else {
+			pops[i].Res = 0
+			pops[i].Ok = false
+		}
+	})
+	b.size -= taking
+
+	// Shrink (rebuild in parallel) when under-occupied, per table
+	// doubling's "too empty" rule.
+	if len(b.buf) > minCap && b.size < len(b.buf)/4 {
+		b.resize(c, b.size)
+	}
+}
+
+// resize rebuilds the backing array to the smallest power-of-two capacity
+// that holds need elements (at least minCap, at least 2*need to restore
+// slack), copying the live prefix in parallel: Θ(n) work, O(lg n) span.
+func (b *Batched) resize(c *sched.Ctx, need int) {
+	capacity := minCap
+	for capacity < 2*need {
+		capacity *= 2
+	}
+	fresh := make([]int64, capacity)
+	c.For(0, b.size, 512, func(_ *sched.Ctx, i int) { fresh[i] = b.buf[i] })
+	b.buf = fresh
+	b.Resizes++
+}
+
+// Seq is the sequential stack baseline.
+type Seq struct{ xs []int64 }
+
+// NewSeq returns an empty sequential stack.
+func NewSeq() *Seq { return &Seq{} }
+
+// Push pushes v.
+func (s *Seq) Push(v int64) { s.xs = append(s.xs, v) }
+
+// Pop pops the top element.
+func (s *Seq) Pop() (int64, bool) {
+	if len(s.xs) == 0 {
+		return 0, false
+	}
+	v := s.xs[len(s.xs)-1]
+	s.xs = s.xs[:len(s.xs)-1]
+	return v, true
+}
+
+// Len returns the number of elements.
+func (s *Seq) Len() int { return len(s.xs) }

@@ -1,0 +1,211 @@
+package stack
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func TestPushPopSingle(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 1})
+	b := New()
+	rt.Run(func(c *sched.Ctx) {
+		b.Push(c, 42)
+		v, ok := b.Pop(c)
+		if !ok || v != 42 {
+			t.Errorf("Pop = %d,%v", v, ok)
+		}
+	})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 2})
+	b := New()
+	rt.Run(func(c *sched.Ctx) {
+		if _, ok := b.Pop(c); ok {
+			t.Error("Pop on empty returned ok")
+		}
+	})
+}
+
+func TestSequentialLIFOOrder(t *testing.T) {
+	// With a chain of dependent ops (m = n), batches have size 1 and the
+	// stack must behave exactly like a sequential stack.
+	rt := sched.New(sched.Config{Workers: 4, Seed: 3})
+	b := New()
+	rt.Run(func(c *sched.Ctx) {
+		for i := int64(0); i < 50; i++ {
+			b.Push(c, i)
+		}
+		for i := int64(49); i >= 0; i-- {
+			v, ok := b.Pop(c)
+			if !ok || v != i {
+				t.Errorf("Pop = %d,%v want %d", v, ok, i)
+			}
+		}
+	})
+}
+
+func TestParallelPushesAllArrive(t *testing.T) {
+	for _, p := range []int{1, 4, 8} {
+		rt := sched.New(sched.Config{Workers: p, Seed: 4})
+		b := New()
+		const n = 1000
+		rt.Run(func(c *sched.Ctx) {
+			c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Push(cc, int64(i)) })
+		})
+		if b.Len() != n {
+			t.Fatalf("P=%d: Len = %d, want %d", p, b.Len(), n)
+		}
+		// Popping everything must return each value exactly once.
+		got := make([]int64, 0, n)
+		rt.Run(func(c *sched.Ctx) {
+			for i := 0; i < n; i++ {
+				v, ok := b.Pop(c)
+				if !ok {
+					t.Fatalf("premature empty at %d", i)
+				}
+				got = append(got, v)
+			}
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := range got {
+			if got[i] != int64(i) {
+				t.Fatalf("P=%d: missing value %d", p, i)
+			}
+		}
+	}
+}
+
+func TestTableDoublingOccurs(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 4, Seed: 5})
+	b := New()
+	const n = 5000
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Push(cc, 1) })
+	})
+	if b.Resizes == 0 {
+		t.Fatal("no resizes for 5000 pushes into a min-capacity table")
+	}
+	// Amortization: resize count must be O(lg n)-ish for grow-only load.
+	if b.Resizes > 20 {
+		t.Fatalf("Resizes = %d, too many for %d pushes", b.Resizes, n)
+	}
+}
+
+func TestShrink(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 6})
+	b := New()
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 1000, 1, func(cc *sched.Ctx, i int) { b.Push(cc, 1) })
+	})
+	capAfterGrow := len(b.buf)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 1000, 1, func(cc *sched.Ctx, i int) { b.Pop(cc) })
+	})
+	if len(b.buf) >= capAfterGrow {
+		t.Fatalf("capacity did not shrink: %d -> %d", capAfterGrow, len(b.buf))
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+// TestQuickAgainstSeqOracle drives the batched stack with dependency
+// chains (batch size 1) against the sequential stack: with singleton
+// batches the behaviours must coincide exactly.
+func TestQuickAgainstSeqOracle(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 3, Seed: 7})
+	f := func(ops []int16) bool {
+		b := New()
+		s := NewSeq()
+		okAll := true
+		rt.Run(func(c *sched.Ctx) {
+			for _, o := range ops {
+				if o >= 0 {
+					b.Push(c, int64(o))
+					s.Push(int64(o))
+				} else {
+					bv, bok := b.Pop(c)
+					sv, sok := s.Pop()
+					if bv != sv || bok != sok {
+						okAll = false
+						return
+					}
+				}
+			}
+		})
+		return okAll && b.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedBatchPushPop checks conservation when pushes and pops share
+// batches: every popped value was pushed, and pops never exceed supply.
+func TestMixedBatchPushPop(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 8, Seed: 8})
+	b := New()
+	r := rng.New(99)
+	const n = 600
+	kinds := make([]bool, n) // true = push
+	pushCount := 0
+	for i := range kinds {
+		kinds[i] = r.Bool()
+		if kinds[i] {
+			pushCount++
+		}
+	}
+	popped := make([]int64, n)
+	poppedOK := make([]bool, n)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			if kinds[i] {
+				b.Push(cc, int64(i))
+			} else {
+				popped[i], poppedOK[i] = b.Pop(cc)
+			}
+		})
+	})
+	okPops := 0
+	seen := map[int64]bool{}
+	for i := range popped {
+		if kinds[i] || !poppedOK[i] {
+			continue
+		}
+		okPops++
+		v := popped[i]
+		if v < 0 || v >= n || !kinds[v] {
+			t.Fatalf("popped value %d was never pushed", v)
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if b.Len() != pushCount-okPops {
+		t.Fatalf("Len = %d, want %d - %d", b.Len(), pushCount, okPops)
+	}
+}
+
+func TestSeqStack(t *testing.T) {
+	s := NewSeq()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty Pop ok")
+	}
+	s.Push(1)
+	s.Push(2)
+	if v, ok := s.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = %d,%v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,260 @@
+package tree23
+
+import (
+	"sort"
+
+	"batcher/internal/sched"
+)
+
+// Operation kinds for the batched 2-3 tree.
+const (
+	// OpInsert inserts Key with Val; Ok reports "newly inserted".
+	OpInsert sched.OpKind = iota
+	// OpContains looks up Key; Ok reports presence, Res the value.
+	OpContains
+	// OpDelete removes Key; Ok reports "was present".
+	OpDelete
+	// OpInsertMany inserts every key in Aux.([]int64) with value Val;
+	// Res receives the count of newly inserted keys.
+	OpInsertMany
+)
+
+// bulkCutoff is the request-count below which bulk operations run
+// sequentially rather than forking.
+const bulkCutoff = 4
+
+// Batched is the implicitly batched 2-3 tree.
+type Batched struct {
+	t *Tree
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns an empty batched 2-3 tree.
+func NewBatched() *Batched { return &Batched{t: NewTree()} }
+
+// Tree exposes the underlying tree for quiescent inspection.
+func (b *Batched) Tree() *Tree { return b.t }
+
+// Insert adds key/val; reports whether key was newly inserted. Core
+// tasks only.
+func (b *Batched) Insert(c *sched.Ctx, key, val int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// InsertMany adds all keys with value val, returning how many were newly
+// inserted. Core tasks only.
+func (b *Batched) InsertMany(c *sched.Ctx, keys []int64, val int64) int {
+	op := sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
+	c.Batchify(&op)
+	return int(op.Res)
+}
+
+// Contains looks up key. Core tasks only.
+func (b *Batched) Contains(c *sched.Ctx, key int64) (int64, bool) {
+	op := sched.OpRecord{DS: b, Kind: OpContains, Key: key}
+	c.Batchify(&op)
+	return op.Res, op.Ok
+}
+
+// Delete removes key, reporting whether it was present. Core tasks only.
+func (b *Batched) Delete(c *sched.Ctx, key int64) bool {
+	op := sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// ireq is one key's insertion request within a batch; added points into a
+// per-request flag slice so forked tasks never write shared fields.
+type ireq struct {
+	key, val int64
+	added    *bool
+}
+
+// RunBatch implements sched.Batched. Linearization within a batch: all
+// lookups (pre-batch state), then all inserts in key order, then all
+// deletes in key order.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	var lookups []*sched.OpRecord
+	var ranges []*sched.OpRecord
+	var delOps []*sched.OpRecord
+	type insOwner struct {
+		op    *sched.OpRecord
+		first int // index of this op's first request in reqs
+		count int
+	}
+	var reqs []ireq
+	var owners []insOwner
+	for _, op := range ops {
+		switch op.Kind {
+		case OpContains:
+			lookups = append(lookups, op)
+		case OpRange:
+			ranges = append(ranges, op)
+		case OpDelete:
+			delOps = append(delOps, op)
+		case OpInsert:
+			owners = append(owners, insOwner{op: op, first: len(reqs), count: 1})
+			reqs = append(reqs, ireq{key: op.Key, val: op.Val})
+		case OpInsertMany:
+			keys := op.Aux.([]int64)
+			owners = append(owners, insOwner{op: op, first: len(reqs), count: len(keys)})
+			for _, k := range keys {
+				reqs = append(reqs, ireq{key: k, val: op.Val})
+			}
+		default:
+			panic("tree23: unknown op kind")
+		}
+	}
+
+	// Phase 1: lookups and range queries, fully parallel and read-only.
+	c.For(0, len(lookups), 1, func(_ *sched.Ctx, i int) {
+		lookups[i].Res, lookups[i].Ok = b.t.Contains(lookups[i].Key)
+	})
+	c.For(0, len(ranges), 1, func(_ *sched.Ctx, i int) {
+		op := ranges[i]
+		out := op.Aux.(*RangeResult)
+		rangeWalk(b.t.root, op.Key, op.Val, out)
+		op.Res = int64(len(out.Keys))
+		op.Ok = true
+	})
+
+	// Phase 2: inserts.
+	if len(reqs) > 0 {
+		flags := make([]bool, len(reqs))
+		for i := range reqs {
+			reqs[i].added = &flags[i]
+		}
+		// Sort stably and dedup: for equal keys the last value wins (it
+		// is linearized last); only the first occurrence can be "new".
+		order := make([]int, len(reqs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, z int) bool { return reqs[order[a]].key < reqs[order[z]].key })
+		sorted := make([]ireq, 0, len(reqs))
+		for idx := 0; idx < len(order); {
+			j := idx
+			for j+1 < len(order) && reqs[order[j+1]].key == reqs[order[idx]].key {
+				j++
+			}
+			r := reqs[order[idx]]      // first occurrence carries the flag
+			r.val = reqs[order[j]].val // last occurrence's value wins
+			sorted = append(sorted, r)
+			idx = j + 1
+		}
+		b.t.root = bulkInsert(c, b.t.root, sorted)
+		for _, f := range flags {
+			if f {
+				b.t.size++
+			}
+		}
+		// Aggregate per-op results.
+		for _, ow := range owners {
+			switch ow.op.Kind {
+			case OpInsert:
+				ow.op.Ok = flags[ow.first]
+			case OpInsertMany:
+				n := int64(0)
+				for i := 0; i < ow.count; i++ {
+					if flags[ow.first+i] {
+						n++
+					}
+				}
+				ow.op.Res = n
+				ow.op.Ok = n > 0
+			}
+		}
+	}
+
+	// Phase 3: deletes.
+	if len(delOps) > 0 {
+		sort.SliceStable(delOps, func(a, z int) bool { return delOps[a].Key < delOps[z].Key })
+		// Dedup: only the first delete of a key can succeed.
+		uniq := delOps[:0:0]
+		for i, op := range delOps {
+			if i > 0 && op.Key == delOps[i-1].Key {
+				op.Ok = false
+				continue
+			}
+			uniq = append(uniq, op)
+		}
+		flags := make([]bool, len(uniq))
+		b.t.root = bulkDelete(c, b.t.root, uniq, flags)
+		for i, op := range uniq {
+			op.Ok = flags[i]
+			if flags[i] {
+				b.t.size--
+			}
+		}
+	}
+}
+
+// bulkInsert inserts the sorted, deduplicated requests into t: split at
+// the median request, recurse on the halves in parallel (they operate on
+// disjoint trees), and join around the median. This is the
+// Paul–Vishkin–Wagener recursion the paper describes for batched search
+// trees.
+func bulkInsert(c *sched.Ctx, t *node, reqs []ireq) *node {
+	if len(reqs) == 0 {
+		return t
+	}
+	if len(reqs) <= bulkCutoff {
+		for _, r := range reqs {
+			var added bool
+			t, added = insertRoot(t, kv{r.key, r.val})
+			*r.added = added
+		}
+		return t
+	}
+	mid := len(reqs) / 2
+	m := reqs[mid]
+	l, r, found, _ := split(t, m.key)
+	*m.added = !found
+	var lt, rt *node
+	c.Fork(
+		func(cc *sched.Ctx) { lt = bulkInsert(cc, l, reqs[:mid]) },
+		func(cc *sched.Ctx) { rt = bulkInsert(cc, r, reqs[mid+1:]) },
+	)
+	return join(lt, kv{m.key, m.val}, rt)
+}
+
+// insertRoot is the classic insert adapted to return the new root.
+func insertRoot(t *node, item kv) (*node, bool) {
+	if t == nil {
+		return node1(nil, item, nil), true
+	}
+	nt, sk, r, didSplit, added := insert(t, item)
+	if didSplit {
+		return node1(nt, sk, r), added
+	}
+	return nt, added
+}
+
+// bulkDelete removes the sorted, deduplicated keys of ops from t,
+// setting flags[i] to whether ops[i].Key was present. Same recursion
+// shape as bulkInsert, joining without the (deleted) median.
+func bulkDelete(c *sched.Ctx, t *node, ops []*sched.OpRecord, flags []bool) *node {
+	if len(ops) == 0 {
+		return t
+	}
+	if len(ops) <= bulkCutoff {
+		for i, op := range ops {
+			l, r, found, _ := split(t, op.Key)
+			flags[i] = found
+			t = join2(l, r)
+		}
+		return t
+	}
+	mid := len(ops) / 2
+	l, r, found, _ := split(t, ops[mid].Key)
+	flags[mid] = found
+	var lt, rt *node
+	c.Fork(
+		func(cc *sched.Ctx) { lt = bulkDelete(cc, l, ops[:mid], flags[:mid]) },
+		func(cc *sched.Ctx) { rt = bulkDelete(cc, r, ops[mid+1:], flags[mid+1:]) },
+	)
+	return join2(lt, rt)
+}

@@ -1,0 +1,83 @@
+package tree23
+
+import "testing"
+
+// FuzzTreeAgainstMap drives the sequential 2-3 tree (classic insert plus
+// split/join delete) from a fuzzer-chosen tape, checking a map oracle and
+// the structural invariants after every mutation burst.
+func FuzzTreeAgainstMap(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 9, 2, 5, 1, 9})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 2, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tr := NewTree()
+		m := map[int64]int64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op := tape[i] % 3
+			k := int64(tape[i+1])
+			switch op {
+			case 0:
+				_, existed := m[k]
+				if tr.Insert(k, int64(i)) == existed {
+					t.Fatalf("Insert(%d) mismatch", k)
+				}
+				m[k] = int64(i)
+			case 1:
+				wv, wok := m[k]
+				gv, gok := tr.Contains(k)
+				if gok != wok || (wok && gv != wv) {
+					t.Fatalf("Contains(%d) mismatch", k)
+				}
+			case 2:
+				_, existed := m[k]
+				if tr.Delete(k) != existed {
+					t.Fatalf("Delete(%d) mismatch", k)
+				}
+				delete(m, k)
+			}
+		}
+		if tr.Len() != len(m) {
+			t.Fatalf("Len = %d want %d", tr.Len(), len(m))
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSplitJoinRoundTrip splits a fuzzer-built tree at a fuzzer-chosen
+// key and verifies the rejoined tree is intact.
+func FuzzSplitJoinRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, byte(3))
+	f.Fuzz(func(t *testing.T, keys []byte, atB byte) {
+		tr := NewTree()
+		set := map[int64]bool{}
+		for _, b := range keys {
+			tr.Insert(int64(b), int64(b))
+			set[int64(b)] = true
+		}
+		at := int64(atB)
+		l, r, found, _ := split(tr.root, at)
+		if found != set[at] {
+			t.Fatalf("split found=%v want %v", found, set[at])
+		}
+		var root *node
+		if found {
+			root = join(l, kv{at, at}, r)
+		} else {
+			root = join2(l, r)
+		}
+		jt := &Tree{root: root, size: len(set)}
+		if err := jt.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		got := jt.Keys()
+		if len(got) != len(set) {
+			t.Fatalf("%d keys, want %d", len(got), len(set))
+		}
+		for _, k := range got {
+			if !set[k] {
+				t.Fatalf("unexpected key %d", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package tree23
+
+import "batcher/internal/sched"
+
+// Range-query support for the batched 2-3 tree. Range queries are
+// read-only, so a batch of them runs fully in parallel (one task per
+// query, each an O(lg n + k) tree walk), linearized with the other
+// read-only phase before the batch's inserts.
+
+// OpRange collects the keys in [Key, Val] (inclusive bounds) into
+// Aux.(*RangeResult). Res receives the count.
+const OpRange sched.OpKind = 100
+
+// RangeResult receives a range query's output.
+type RangeResult struct {
+	// Keys are the matching keys in ascending order.
+	Keys []int64
+	// Vals are the corresponding values.
+	Vals []int64
+}
+
+// Range returns all keys in [lo, hi] with their values, in ascending key
+// order. Core tasks only.
+func (b *Batched) Range(c *sched.Ctx, lo, hi int64) ([]int64, []int64) {
+	var out RangeResult
+	op := sched.OpRecord{DS: b, Kind: OpRange, Key: lo, Val: hi, Aux: &out}
+	c.Batchify(&op)
+	return out.Keys, out.Vals
+}
+
+// rangeWalk appends all pairs in [lo, hi] under x to out, in order.
+func rangeWalk(x *node, lo, hi int64, out *RangeResult) {
+	if x == nil {
+		return
+	}
+	k1 := x.keys[0]
+	if lo < k1.k {
+		rangeWalk(x.kids[0], lo, hi, out)
+	}
+	if k1.k >= lo && k1.k <= hi {
+		out.Keys = append(out.Keys, k1.k)
+		out.Vals = append(out.Vals, k1.v)
+	}
+	if x.nk == 1 {
+		if hi > k1.k {
+			rangeWalk(x.kids[1], lo, hi, out)
+		}
+		return
+	}
+	k2 := x.keys[1]
+	if hi > k1.k && lo < k2.k {
+		rangeWalk(x.kids[1], lo, hi, out)
+	}
+	if k2.k >= lo && k2.k <= hi {
+		out.Keys = append(out.Keys, k2.k)
+		out.Vals = append(out.Vals, k2.v)
+	}
+	if hi > k2.k {
+		rangeWalk(x.kids[2], lo, hi, out)
+	}
+}
+
+// RangeSeq is the sequential form on Tree, used directly and as the
+// batched operation's per-query body.
+func (t *Tree) RangeSeq(lo, hi int64) ([]int64, []int64) {
+	var out RangeResult
+	rangeWalk(t.root, lo, hi, &out)
+	return out.Keys, out.Vals
+}

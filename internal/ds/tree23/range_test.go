@@ -1,0 +1,162 @@
+package tree23
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func TestRangeSeqBasic(t *testing.T) {
+	tr := NewTree()
+	for i := int64(0); i < 100; i += 2 { // evens 0..98
+		tr.Insert(i, i*10)
+	}
+	ks, vs := tr.RangeSeq(10, 20)
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(ks) != len(want) {
+		t.Fatalf("keys %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] || vs[i] != want[i]*10 {
+			t.Fatalf("ks=%v vs=%v", ks, vs)
+		}
+	}
+}
+
+func TestRangeSeqEdges(t *testing.T) {
+	tr := NewTree()
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i, i)
+	}
+	if ks, _ := tr.RangeSeq(60, 70); len(ks) != 0 {
+		t.Fatalf("out-of-range query returned %v", ks)
+	}
+	if ks, _ := tr.RangeSeq(-10, -1); len(ks) != 0 {
+		t.Fatalf("below-range query returned %v", ks)
+	}
+	if ks, _ := tr.RangeSeq(0, 49); len(ks) != 50 {
+		t.Fatalf("full range returned %d keys", len(ks))
+	}
+	if ks, _ := tr.RangeSeq(7, 7); len(ks) != 1 || ks[0] != 7 {
+		t.Fatalf("point query returned %v", ks)
+	}
+	if ks, _ := tr.RangeSeq(20, 10); len(ks) != 0 {
+		t.Fatalf("inverted range returned %v", ks)
+	}
+	empty := NewTree()
+	if ks, _ := empty.RangeSeq(0, 100); len(ks) != 0 {
+		t.Fatalf("empty tree returned %v", ks)
+	}
+}
+
+func TestQuickRangeAgainstSortedSlice(t *testing.T) {
+	f := func(keys []int16, lo16, hi16 int16) bool {
+		lo, hi := int64(lo16), int64(hi16)
+		tr := NewTree()
+		set := map[int64]bool{}
+		for _, k16 := range keys {
+			k := int64(k16)
+			tr.Insert(k, k)
+			set[k] = true
+		}
+		var want []int64
+		for k := range set {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got, _ := tr.RangeSeq(lo, hi)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedRangeQueries(t *testing.T) {
+	b := NewBatched()
+	rt := sched.New(sched.Config{Workers: 4, Seed: 51})
+	const n = 2000
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { b.Insert(cc, int64(i), int64(i)) })
+	})
+	// Parallel range queries of varying widths.
+	r := rng.New(3)
+	const q = 200
+	los := make([]int64, q)
+	his := make([]int64, q)
+	for i := range los {
+		los[i] = r.Int63() % n
+		his[i] = los[i] + r.Int63()%100
+	}
+	results := make([][]int64, q)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, q, 1, func(cc *sched.Ctx, i int) {
+			results[i], _ = b.Range(cc, los[i], his[i])
+		})
+	})
+	for i := range results {
+		wantLen := his[i] - los[i] + 1
+		if his[i] >= n {
+			wantLen = n - los[i]
+		}
+		if int64(len(results[i])) != wantLen {
+			t.Fatalf("query [%d,%d]: %d keys, want %d", los[i], his[i], len(results[i]), wantLen)
+		}
+		for j, k := range results[i] {
+			if k != los[i]+int64(j) {
+				t.Fatalf("query %d: key %d at %d", i, k, j)
+			}
+		}
+	}
+}
+
+func TestBatchedRangeConcurrentWithWrites(t *testing.T) {
+	// Ranges linearize before same-batch inserts/deletes; we only assert
+	// they return a consistent snapshot (sorted, within bounds) while
+	// writers churn.
+	b := NewBatched()
+	rt := sched.New(sched.Config{Workers: 8, Seed: 53})
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 500, 1, func(cc *sched.Ctx, i int) { b.Insert(cc, int64(i), 0) })
+	})
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 600, 1, func(cc *sched.Ctx, i int) {
+			switch i % 3 {
+			case 0:
+				b.Insert(cc, int64(500+i), 0)
+			case 1:
+				b.Delete(cc, int64(i%500))
+			case 2:
+				ks, _ := b.Range(cc, 100, 300)
+				for j := 1; j < len(ks); j++ {
+					if ks[j] <= ks[j-1] {
+						t.Errorf("unsorted range result")
+						return
+					}
+				}
+				for _, k := range ks {
+					if k < 100 || k > 300 {
+						t.Errorf("out-of-bounds key %d", k)
+						return
+					}
+				}
+			}
+		})
+	})
+	if err := b.Tree().checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package tree23
+
+// Join-based 2-3 tree operations, in the style of join-based balanced
+// trees: join concatenates two trees around a separator key, split cuts a
+// tree at a key. Both are O(lg n). Bulk batch operations are built on
+// them: split at the batch median, fork the halves (disjoint trees, so
+// the forked tasks share nothing), and join the results.
+
+// join returns a tree containing l's keys, then k, then r's keys.
+// Preconditions: every key in l < k.k < every key in r. l and r may be
+// nil. join may mutate nodes of l and r.
+func join(l *node, k kv, r *node) *node {
+	hl, hr := height(l), height(r)
+	switch {
+	case hl == hr:
+		return node1(l, k, r)
+	case hl > hr:
+		t, sk, t2, split := joinRight(l, k, r)
+		if split {
+			return node1(t, sk, t2)
+		}
+		return t
+	default:
+		t, sk, t2, split := joinLeft(l, k, r)
+		if split {
+			return node1(t, sk, t2)
+		}
+		return t
+	}
+}
+
+// joinRight attaches (k, r) along l's right spine; h(l) > h(r). The
+// result is either a single tree of height h(l) (split=false) or two
+// trees of height h(l) separated by sk (split=true), exactly like an
+// insert's overflow propagation.
+func joinRight(l *node, k kv, r *node) (t *node, sk kv, t2 *node, split bool) {
+	child := l.kids[l.nk]
+	var ct, ct2 *node
+	var csk kv
+	var csplit bool
+	if height(child) == height(r) {
+		ct, csk, ct2, csplit = child, k, r, true
+	} else {
+		ct, csk, ct2, csplit = joinRight(child, k, r)
+	}
+	l.kids[l.nk] = ct
+	if !csplit {
+		return l, kv{}, nil, false
+	}
+	if l.nk == 1 {
+		l.keys[1] = csk
+		l.kids[2] = ct2
+		l.nk = 2
+		return l, kv{}, nil, false
+	}
+	// Overflow: keys (k1, k2, csk) over children (c0, c1, ct, ct2).
+	left := node1(l.kids[0], l.keys[0], l.kids[1])
+	right := node1(ct, csk, ct2)
+	return left, l.keys[1], right, true
+}
+
+// joinLeft is the mirror image: attach (l, k) along r's left spine;
+// h(r) > h(l).
+func joinLeft(l *node, k kv, r *node) (t *node, sk kv, t2 *node, split bool) {
+	child := r.kids[0]
+	var ct, ct2 *node
+	var csk kv
+	var csplit bool
+	if height(child) == height(l) {
+		ct, csk, ct2, csplit = l, k, child, true
+	} else {
+		ct, csk, ct2, csplit = joinLeft(l, k, child)
+	}
+	r.kids[0] = ct
+	if !csplit {
+		return r, kv{}, nil, false
+	}
+	if r.nk == 1 {
+		r.keys[1] = r.keys[0]
+		r.kids[2] = r.kids[1]
+		r.keys[0] = csk
+		r.kids[1] = ct2
+		// r.kids[0] already holds ct.
+		r.nk = 2
+		return r, kv{}, nil, false
+	}
+	// Overflow: keys (csk, k1, k2) over children (ct, ct2, c1, c2).
+	left := node1(ct, csk, ct2)
+	right := node1(r.kids[1], r.keys[1], r.kids[2])
+	return left, r.keys[0], right, true
+}
+
+// split cuts t at key: l receives keys < key, r keys > key; found/val
+// report whether key itself was present. t is consumed.
+func split(t *node, key int64) (l, r *node, found bool, val int64) {
+	if t == nil {
+		return nil, nil, false, 0
+	}
+	if t.nk == 1 {
+		k1 := t.keys[0]
+		switch {
+		case key < k1.k:
+			cl, cr, f, v := split(t.kids[0], key)
+			return cl, join(cr, k1, t.kids[1]), f, v
+		case key == k1.k:
+			return t.kids[0], t.kids[1], true, k1.v
+		default:
+			cl, cr, f, v := split(t.kids[1], key)
+			return join(t.kids[0], k1, cl), cr, f, v
+		}
+	}
+	k1, k2 := t.keys[0], t.keys[1]
+	switch {
+	case key < k1.k:
+		cl, cr, f, v := split(t.kids[0], key)
+		return cl, join(cr, k1, node1(t.kids[1], k2, t.kids[2])), f, v
+	case key == k1.k:
+		return t.kids[0], node1(t.kids[1], k2, t.kids[2]), true, k1.v
+	case key < k2.k:
+		cl, cr, f, v := split(t.kids[1], key)
+		return join(t.kids[0], k1, cl), join(cr, k2, t.kids[2]), f, v
+	case key == k2.k:
+		return node1(t.kids[0], k1, t.kids[1]), t.kids[2], true, k2.v
+	default:
+		cl, cr, f, v := split(t.kids[2], key)
+		return join(node1(t.kids[0], k1, t.kids[1]), k2, cl), cr, f, v
+	}
+}
+
+// splitLast removes and returns the maximum key of a non-nil tree.
+func splitLast(t *node) (*node, kv) {
+	if t.kids[t.nk] == nil { // leaf
+		last := t.keys[t.nk-1]
+		if t.nk == 2 {
+			t.nk = 1
+			return t, last
+		}
+		return nil, last
+	}
+	c, last := splitLast(t.kids[t.nk])
+	if t.nk == 2 {
+		prefix := node1(t.kids[0], t.keys[0], t.kids[1])
+		return join(prefix, t.keys[1], c), last
+	}
+	return join(t.kids[0], t.keys[0], c), last
+}
+
+// join2 concatenates two trees without a separator (all keys of l below
+// all keys of r).
+func join2(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	l2, last := splitLast(l)
+	return join(l2, last, r)
+}

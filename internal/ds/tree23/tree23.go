@@ -1,0 +1,279 @@
+// Package tree23 implements a 2-3 search tree (a B-tree with one or two
+// keys per node), the search-tree example of Section 3 of the paper. The
+// paper's batched 2-3 tree follows Paul, Vishkin and Wagener: sort the
+// batch, insert the median, and recurse on the halves in parallel, so
+// that keys inserted concurrently end up separated by existing keys
+// without concurrency control.
+//
+// We realize that recursion with join-based bulk operations: split the
+// tree at the batch's median key, process the two halves in genuinely
+// parallel forked tasks (the halves are disjoint trees, so no
+// synchronization is needed), and join the results. split and join are
+// O(lg n) each, giving a size-x batch O(x lg n) work and O(lg x · lg n)
+// span — the profile the paper's search-tree analysis uses.
+//
+// The sequential tree (type Tree) uses the classic split-propagation
+// insert and serves as the SEQ baseline and testing oracle.
+package tree23
+
+// kv is a key-value pair.
+type kv struct{ k, v int64 }
+
+// node is a 2-3 tree node: nk keys (1 or 2) and, for internal nodes,
+// nk+1 children. All leaves are at the same depth; h is the subtree
+// height with leaves at height 1.
+type node struct {
+	h    int16
+	nk   int8
+	keys [2]kv
+	kids [3]*node
+}
+
+func height(t *node) int {
+	if t == nil {
+		return 0
+	}
+	return int(t.h)
+}
+
+// node1 builds a 1-key node over two equal-height subtrees (both nil for
+// a leaf).
+func node1(l *node, k kv, r *node) *node {
+	return &node{h: int16(height(l)) + 1, nk: 1, keys: [2]kv{k}, kids: [3]*node{l, r}}
+}
+
+// Tree is a sequential 2-3 tree mapping int64 keys to int64 values.
+type Tree struct {
+	root *node
+	size int
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree { return &Tree{} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Contains reports whether key is present and returns its value.
+func (t *Tree) Contains(key int64) (int64, bool) {
+	x := t.root
+	for x != nil {
+		if key == x.keys[0].k {
+			return x.keys[0].v, true
+		}
+		if x.nk == 2 && key == x.keys[1].k {
+			return x.keys[1].v, true
+		}
+		switch {
+		case key < x.keys[0].k:
+			x = x.kids[0]
+		case x.nk == 1 || key < x.keys[1].k:
+			x = x.kids[1]
+		default:
+			x = x.kids[2]
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key/val, or updates the value if key is present. It
+// returns true if the key was newly inserted.
+func (t *Tree) Insert(key, val int64) bool {
+	if t.root == nil {
+		t.root = node1(nil, kv{key, val}, nil)
+		t.size = 1
+		return true
+	}
+	nt, sk, r, split, added := insert(t.root, kv{key, val})
+	if split {
+		t.root = node1(nt, sk, r)
+	} else {
+		t.root = nt
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert is the classic recursive 2-3 insert with split propagation. It
+// returns the (possibly replaced) subtree; if split is true, the subtree
+// overflowed into two equal-height trees (nt, r) separated by sk.
+func insert(x *node, item kv) (nt *node, sk kv, r *node, split, added bool) {
+	// Update in place if present at this node.
+	if item.k == x.keys[0].k {
+		x.keys[0].v = item.v
+		return x, kv{}, nil, false, false
+	}
+	if x.nk == 2 && item.k == x.keys[1].k {
+		x.keys[1].v = item.v
+		return x, kv{}, nil, false, false
+	}
+	// Child index the key belongs to.
+	var i int8
+	switch {
+	case item.k < x.keys[0].k:
+		i = 0
+	case x.nk == 1 || item.k < x.keys[1].k:
+		i = 1
+	default:
+		i = 2
+	}
+	var ck kv
+	var cr *node
+	if x.kids[0] == nil { // leaf: the item itself is inserted here
+		ck, cr = item, nil
+		added = true
+	} else {
+		var ct *node
+		var csplit bool
+		ct, ck, cr, csplit, added = insert(x.kids[i], item)
+		x.kids[i] = ct
+		if !csplit {
+			return x, kv{}, nil, false, added
+		}
+	}
+	// Insert separator ck with right subtree cr at position i.
+	if x.nk == 1 {
+		if i == 0 {
+			x.keys[1] = x.keys[0]
+			x.kids[2] = x.kids[1]
+			x.keys[0] = ck
+			x.kids[1] = cr
+		} else {
+			x.keys[1] = ck
+			x.kids[2] = cr
+		}
+		x.nk = 2
+		return x, kv{}, nil, false, added
+	}
+	// Overflow: three keys a < b < c with four children; split around b.
+	var a, b, c kv
+	var c0, c1, c2, c3 *node
+	switch i {
+	case 0:
+		a, b, c = ck, x.keys[0], x.keys[1]
+		c0, c1, c2, c3 = x.kids[0], cr, x.kids[1], x.kids[2]
+	case 1:
+		a, b, c = x.keys[0], ck, x.keys[1]
+		c0, c1, c2, c3 = x.kids[0], x.kids[1], cr, x.kids[2]
+	default:
+		a, b, c = x.keys[0], x.keys[1], ck
+		c0, c1, c2, c3 = x.kids[0], x.kids[1], x.kids[2], cr
+	}
+	return node1(c0, a, c1), b, node1(c2, c, c3), true, added
+}
+
+// Delete removes key if present, reporting whether it was. It is
+// implemented with split + join2, which also underlies the batched
+// deletes.
+func (t *Tree) Delete(key int64) bool {
+	l, r, found, _ := split(t.root, key)
+	t.root = join2(l, r)
+	if found {
+		t.size--
+	}
+	return found
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	var walk func(x *node)
+	walk = func(x *node) {
+		if x == nil {
+			return
+		}
+		walk(x.kids[0])
+		out = append(out, x.keys[0].k)
+		walk(x.kids[1])
+		if x.nk == 2 {
+			out = append(out, x.keys[1].k)
+			walk(x.kids[2])
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *Tree) Min() (key, val int64, ok bool) {
+	x := t.root
+	if x == nil {
+		return 0, 0, false
+	}
+	for x.kids[0] != nil {
+		x = x.kids[0]
+	}
+	return x.keys[0].k, x.keys[0].v, true
+}
+
+// checkInvariants verifies 2-3 shape: key order, uniform leaf depth,
+// correct nk, and consistent height fields. Tests use it after every
+// structural scenario.
+func (t *Tree) checkInvariants() error {
+	count := 0
+	var check func(x *node, lo, hi int64) (int, error)
+	check = func(x *node, lo, hi int64) (int, error) {
+		if x == nil {
+			return 0, nil
+		}
+		if x.nk < 1 || x.nk > 2 {
+			return 0, errShape("bad nk")
+		}
+		if x.nk == 2 && x.keys[0].k >= x.keys[1].k {
+			return 0, errShape("keys out of order in node")
+		}
+		for i := int8(0); i < x.nk; i++ {
+			k := x.keys[i].k
+			if k <= lo || k >= hi {
+				return 0, errShape("key violates search order")
+			}
+			count++
+		}
+		isLeaf := x.kids[0] == nil
+		for i := int8(0); i <= x.nk; i++ {
+			if isLeaf != (x.kids[i] == nil) {
+				return 0, errShape("mixed leaf/internal children")
+			}
+		}
+		if isLeaf {
+			if x.h != 1 {
+				return 0, errShape("leaf with h != 1")
+			}
+			return 1, nil
+		}
+		bounds := []int64{lo, x.keys[0].k, hi}
+		if x.nk == 2 {
+			bounds = []int64{lo, x.keys[0].k, x.keys[1].k, hi}
+		}
+		depth := -1
+		for i := int8(0); i <= x.nk; i++ {
+			d, err := check(x.kids[i], bounds[i], bounds[i+1])
+			if err != nil {
+				return 0, err
+			}
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				return 0, errShape("non-uniform leaf depth")
+			}
+		}
+		if int(x.h) != depth+1 {
+			return 0, errShape("height field inconsistent")
+		}
+		return depth + 1, nil
+	}
+	const inf = int64(1) << 62
+	if _, err := check(t.root, -inf, inf); err != nil {
+		return err
+	}
+	if count != t.size {
+		return errShape("size field inconsistent")
+	}
+	return nil
+}
+
+type errShape string
+
+func (e errShape) Error() string { return "tree23: " + string(e) }

@@ -1,0 +1,341 @@
+package tree23
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+)
+
+func TestTreeInsertContains(t *testing.T) {
+	tr := NewTree()
+	if !tr.Insert(5, 50) {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert(5, 55) {
+		t.Fatal("duplicate insert reported new")
+	}
+	v, ok := tr.Contains(5)
+	if !ok || v != 55 {
+		t.Fatalf("Contains(5) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Contains(4); ok {
+		t.Fatal("absent key found")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeAscendingInserts(t *testing.T) {
+	tr := NewTree()
+	const n = 10_000
+	for i := int64(0); i < n; i++ {
+		if !tr.Insert(i, i*2) {
+			t.Fatalf("Insert(%d) not new", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := tr.Contains(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Contains(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestTreeDescendingInserts(t *testing.T) {
+	tr := NewTree()
+	for i := int64(999); i >= 0; i-- {
+		tr.Insert(i, i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := tr.Keys()
+	for i := range keys {
+		if keys[i] != int64(i) {
+			t.Fatalf("Keys[%d] = %d", i, keys[i])
+		}
+	}
+}
+
+func TestTreeRandomAgainstMap(t *testing.T) {
+	tr := NewTree()
+	m := map[int64]int64{}
+	r := rng.New(3)
+	for i := 0; i < 20_000; i++ {
+		k := r.Int63() % 5000
+		switch r.Intn(3) {
+		case 0:
+			_, existed := m[k]
+			if tr.Insert(k, int64(i)) == existed {
+				t.Fatalf("op %d: Insert(%d) mismatch", i, k)
+			}
+			m[k] = int64(i)
+		case 1:
+			wv, wok := m[k]
+			gv, gok := tr.Contains(k)
+			if gok != wok || (wok && gv != wv) {
+				t.Fatalf("op %d: Contains(%d) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		case 2:
+			_, existed := m[k]
+			if tr.Delete(k) != existed {
+				t.Fatalf("op %d: Delete(%d) mismatch", i, k)
+			}
+			delete(m, k)
+		}
+	}
+	if tr.Len() != len(m) {
+		t.Fatalf("Len = %d want %d", tr.Len(), len(m))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDeleteAll(t *testing.T) {
+	tr := NewTree()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty")
+	}
+	if tr.Delete(0) {
+		t.Fatal("Delete on empty succeeded")
+	}
+}
+
+func TestTreeMin(t *testing.T) {
+	tr := NewTree()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	tr.Insert(7, 70)
+	tr.Insert(3, 30)
+	tr.Insert(9, 90)
+	k, v, ok := tr.Min()
+	if !ok || k != 3 || v != 30 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestTreeKeysSorted(t *testing.T) {
+	tr := NewTree()
+	r := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		tr.Insert(r.Int63()%100000, 0)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys not sorted")
+	}
+	if len(keys) != tr.Len() {
+		t.Fatalf("Keys len %d vs size %d", len(keys), tr.Len())
+	}
+}
+
+func TestQuickTreeAgainstMap(t *testing.T) {
+	f := func(ins []int16, dels []int16) bool {
+		tr := NewTree()
+		m := map[int64]int64{}
+		for i, k16 := range ins {
+			k := int64(k16)
+			newIns := tr.Insert(k, int64(i))
+			if _, existed := m[k]; newIns == existed {
+				return false
+			}
+			m[k] = int64(i)
+		}
+		for _, k16 := range dels {
+			k := int64(k16)
+			_, existed := m[k]
+			if tr.Delete(k) != existed {
+				return false
+			}
+			delete(m, k)
+		}
+		if tr.Len() != len(m) || tr.checkInvariants() != nil {
+			return false
+		}
+		for k, v := range m {
+			got, ok := tr.Contains(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- split/join unit tests -------------------------------------------------
+
+func buildTree(keys ...int64) *Tree {
+	tr := NewTree()
+	for _, k := range keys {
+		tr.Insert(k, k*10)
+	}
+	return tr
+}
+
+func TestSplitBasic(t *testing.T) {
+	for _, at := range []int64{-1, 0, 5, 9, 10, 50, 99, 100} {
+		tr := NewTree()
+		for i := int64(0); i < 100; i++ {
+			tr.Insert(i, i)
+		}
+		l, r, found, _ := split(tr.root, at)
+		wantFound := at >= 0 && at < 100
+		if found != wantFound {
+			t.Fatalf("split at %d: found=%v", at, found)
+		}
+		lt := &Tree{root: l}
+		rt := &Tree{root: r}
+		for _, k := range lt.Keys() {
+			if k >= at {
+				t.Fatalf("split at %d: left has %d", at, k)
+			}
+		}
+		for _, k := range rt.Keys() {
+			if k <= at {
+				t.Fatalf("split at %d: right has %d", at, k)
+			}
+		}
+		total := len(lt.Keys()) + len(rt.Keys())
+		want := 100
+		if wantFound {
+			want = 99
+		}
+		if total != want {
+			t.Fatalf("split at %d: %d keys total, want %d", at, total, want)
+		}
+		lt.size, rt.size = len(lt.Keys()), len(rt.Keys())
+		if err := lt.checkInvariants(); err != nil {
+			t.Fatalf("left: %v", err)
+		}
+		if err := rt.checkInvariants(); err != nil {
+			t.Fatalf("right: %v", err)
+		}
+	}
+}
+
+func TestJoinHeights(t *testing.T) {
+	// Join trees of very different sizes both ways.
+	for _, sizes := range [][2]int{{1, 1000}, {1000, 1}, {0, 500}, {500, 0}, {256, 256}} {
+		nl, nr := sizes[0], sizes[1]
+		lt := NewTree()
+		for i := 0; i < nl; i++ {
+			lt.Insert(int64(i), 0)
+		}
+		rt := NewTree()
+		for i := 0; i < nr; i++ {
+			rt.Insert(int64(10000+i), 0)
+		}
+		joined := join(lt.root, kv{5000, 0}, rt.root)
+		jt := &Tree{root: joined, size: nl + nr + 1}
+		if err := jt.checkInvariants(); err != nil {
+			t.Fatalf("sizes %v: %v", sizes, err)
+		}
+		keys := jt.Keys()
+		if len(keys) != nl+nr+1 {
+			t.Fatalf("sizes %v: %d keys", sizes, len(keys))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("sizes %v: unsorted", sizes)
+		}
+	}
+}
+
+func TestJoin2(t *testing.T) {
+	lt := buildTree(1, 2, 3, 4, 5)
+	rt := buildTree(10, 11, 12)
+	j := join2(lt.root, rt.root)
+	jt := &Tree{root: j, size: 8}
+	if err := jt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5, 10, 11, 12}
+	got := jt.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if join2(nil, nil) != nil {
+		t.Fatal("join2(nil,nil) != nil")
+	}
+}
+
+func TestSplitLast(t *testing.T) {
+	tr := buildTree(1, 2, 3, 4, 5, 6, 7)
+	root, last := splitLast(tr.root)
+	if last.k != 7 {
+		t.Fatalf("last = %d", last.k)
+	}
+	rem := &Tree{root: root, size: 6}
+	if err := rem.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rem.Keys(); len(got) != 6 || got[5] != 6 {
+		t.Fatalf("remaining keys %v", got)
+	}
+}
+
+func TestQuickSplitJoinRoundTrip(t *testing.T) {
+	f := func(keys []int16, at int16) bool {
+		tr := NewTree()
+		set := map[int64]bool{}
+		for _, k16 := range keys {
+			k := int64(k16)
+			tr.Insert(k, k)
+			set[k] = true
+		}
+		l, r, found, _ := split(tr.root, int64(at))
+		if found != set[int64(at)] {
+			return false
+		}
+		// Rejoin (re-adding the split key if it was present).
+		var root *node
+		if found {
+			root = join(l, kv{int64(at), int64(at)}, r)
+		} else {
+			root = join2(l, r)
+		}
+		jt := &Tree{root: root, size: len(set)}
+		if jt.checkInvariants() != nil {
+			return false
+		}
+		got := jt.Keys()
+		if len(got) != len(set) {
+			return false
+		}
+		for _, k := range got {
+			if !set[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package unionfind implements a disjoint-set (union-find) structure
+// with an implicitly batched interface. Minimum-spanning-tree algorithms
+// are one of the applications the paper's introduction credits to
+// batched structures; the Borůvka example (examples/boruvka) drives this
+// package through BATCHER.
+//
+// The batched operation exploits the usual read/write split: Find and
+// SameSet queries are read-only and run fully in parallel, while the
+// batch's Unions apply sequentially (a batch has at most P of them).
+// Union by rank without path compression keeps every find read-only and
+// guarantees O(lg n) tree depth, so a size-x batch over n elements has
+// O(x lg n) work and O(lg n) span — squarely in Theorem 1's sweet spot.
+package unionfind
+
+import "batcher/internal/sched"
+
+// Operation kinds.
+const (
+	// OpFind resolves Key's set representative into Res.
+	OpFind sched.OpKind = iota
+	// OpUnion merges the sets of Key and Val; Ok reports "were separate".
+	OpUnion
+	// OpSame asks whether Key and Val share a set; Ok receives the
+	// answer.
+	OpSame
+)
+
+// Seq is the sequential disjoint-set structure (union by rank).
+type Seq struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// NewSeq returns n singleton sets, elements 0..n-1.
+func NewSeq(n int) *Seq {
+	s := &Seq{parent: make([]int32, n), rank: make([]int8, n), sets: n}
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+	}
+	return s
+}
+
+// Find returns the representative of x's set. It does not mutate (no
+// path compression), so concurrent Finds are safe by construction.
+func (s *Seq) Find(x int32) int32 {
+	for s.parent[x] != x {
+		x = s.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, reporting whether they were
+// separate.
+func (s *Seq) Union(a, b int32) bool {
+	ra, rb := s.Find(a), s.Find(b)
+	if ra == rb {
+		return false
+	}
+	if s.rank[ra] < s.rank[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	if s.rank[ra] == s.rank[rb] {
+		s.rank[ra]++
+	}
+	s.sets--
+	return true
+}
+
+// Same reports whether a and b share a set.
+func (s *Seq) Same(a, b int32) bool { return s.Find(a) == s.Find(b) }
+
+// Sets returns the number of disjoint sets.
+func (s *Seq) Sets() int { return s.sets }
+
+// Len returns the element count.
+func (s *Seq) Len() int { return len(s.parent) }
+
+// Batched is the implicitly batched union-find.
+type Batched struct {
+	s *Seq
+}
+
+var _ sched.Batched = (*Batched)(nil)
+
+// NewBatched returns n singleton sets behind the batching interface.
+func NewBatched(n int) *Batched { return &Batched{s: NewSeq(n)} }
+
+// Seq exposes the underlying structure for quiescent inspection.
+func (b *Batched) Seq() *Seq { return b.s }
+
+// Find returns x's representative. Core tasks only.
+func (b *Batched) Find(c *sched.Ctx, x int32) int32 {
+	op := sched.OpRecord{DS: b, Kind: OpFind, Key: int64(x)}
+	c.Batchify(&op)
+	return int32(op.Res)
+}
+
+// Union merges the sets of a and b; reports whether they were separate.
+// Core tasks only.
+func (b *Batched) Union(c *sched.Ctx, a, x int32) bool {
+	op := sched.OpRecord{DS: b, Kind: OpUnion, Key: int64(a), Val: int64(x)}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// Same reports whether a and b share a set. Core tasks only.
+func (b *Batched) Same(c *sched.Ctx, a, x int32) bool {
+	op := sched.OpRecord{DS: b, Kind: OpSame, Key: int64(a), Val: int64(x)}
+	c.Batchify(&op)
+	return op.Ok
+}
+
+// RunBatch implements sched.Batched: queries linearize before the
+// batch's unions; queries run in parallel, unions sequentially.
+func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
+	var queries, unions []*sched.OpRecord
+	for _, op := range ops {
+		switch op.Kind {
+		case OpFind, OpSame:
+			queries = append(queries, op)
+		case OpUnion:
+			unions = append(unions, op)
+		default:
+			panic("unionfind: unknown op kind")
+		}
+	}
+	c.For(0, len(queries), 1, func(_ *sched.Ctx, i int) {
+		op := queries[i]
+		switch op.Kind {
+		case OpFind:
+			op.Res = int64(b.s.Find(int32(op.Key)))
+			op.Ok = true
+		case OpSame:
+			op.Ok = b.s.Same(int32(op.Key), int32(op.Val))
+		}
+	})
+	for _, op := range unions {
+		op.Ok = b.s.Union(int32(op.Key), int32(op.Val))
+	}
+}

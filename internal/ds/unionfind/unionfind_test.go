@@ -1,0 +1,170 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/sched"
+)
+
+func TestSeqBasics(t *testing.T) {
+	s := NewSeq(5)
+	if s.Sets() != 5 || s.Len() != 5 {
+		t.Fatalf("sets=%d len=%d", s.Sets(), s.Len())
+	}
+	if !s.Union(0, 1) {
+		t.Fatal("first union failed")
+	}
+	if s.Union(1, 0) {
+		t.Fatal("repeat union succeeded")
+	}
+	if !s.Same(0, 1) || s.Same(0, 2) {
+		t.Fatal("Same wrong")
+	}
+	if s.Sets() != 4 {
+		t.Fatalf("sets=%d", s.Sets())
+	}
+}
+
+func TestSeqChainAllConnected(t *testing.T) {
+	const n = 1000
+	s := NewSeq(n)
+	for i := int32(1); i < n; i++ {
+		s.Union(i-1, i)
+	}
+	if s.Sets() != 1 {
+		t.Fatalf("sets=%d", s.Sets())
+	}
+	root := s.Find(0)
+	for i := int32(0); i < n; i++ {
+		if s.Find(i) != root {
+			t.Fatalf("element %d in different set", i)
+		}
+	}
+}
+
+func TestSeqRankKeepsDepthLogarithmic(t *testing.T) {
+	// Union by rank: depth of any find path is O(lg n).
+	const n = 1 << 12
+	s := NewSeq(n)
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			s.Union(int32(i), int32(i+stride))
+		}
+	}
+	maxDepth := 0
+	for i := int32(0); i < n; i++ {
+		d := 0
+		x := i
+		for s.parent[x] != x {
+			x = s.parent[x]
+			d++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth > 13 { // lg(4096) + 1
+		t.Fatalf("max depth %d exceeds O(lg n)", maxDepth)
+	}
+}
+
+func TestQuickSeqAgainstNaive(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		s := NewSeq(n)
+		// Naive oracle: set labels with full relabel on union.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		for _, p := range pairs {
+			a := int32(p & 0x3f)
+			b := int32((p >> 6) & 0x3f)
+			merged := s.Union(a, b)
+			if merged == (label[a] == label[b]) {
+				return false
+			}
+			la, lb := label[a], label[b]
+			if la != lb {
+				for i := range label {
+					if label[i] == lb {
+						label[i] = la
+					}
+				}
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				if s.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedParallelQueriesAndUnions(t *testing.T) {
+	const n = 2000
+	b := NewBatched(n)
+	rt := sched.New(sched.Config{Workers: 8, Seed: 91})
+	// Union even i with i+1 in parallel (disjoint pairs: all succeed).
+	oks := make([]bool, n/2)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n/2, 1, func(cc *sched.Ctx, i int) {
+			oks[i] = b.Union(cc, int32(2*i), int32(2*i+1))
+		})
+	})
+	for i, ok := range oks {
+		if !ok {
+			t.Fatalf("disjoint union %d failed", i)
+		}
+	}
+	if b.Seq().Sets() != n/2 {
+		t.Fatalf("sets=%d", b.Seq().Sets())
+	}
+	// Parallel queries.
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n/2, 1, func(cc *sched.Ctx, i int) {
+			if !b.Same(cc, int32(2*i), int32(2*i+1)) {
+				t.Errorf("pair %d not same", i)
+			}
+			if i+1 < n/2 && b.Same(cc, int32(2*i), int32(2*i+2)) {
+				t.Errorf("pairs %d and %d merged", i, i+1)
+			}
+			if b.Find(cc, int32(2*i)) != b.Find(cc, int32(2*i+1)) {
+				t.Errorf("find mismatch for pair %d", i)
+			}
+		})
+	})
+}
+
+func TestBatchedConcurrentUnionsSameComponent(t *testing.T) {
+	// All P workers union into element 0 concurrently: exactly n-1 of the
+	// n-1 distinct unions succeed and duplicates fail.
+	const n = 500
+	b := NewBatched(n)
+	rt := sched.New(sched.Config{Workers: 8, Seed: 93})
+	succ := make([]bool, 2*n)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, 2*n, 1, func(cc *sched.Ctx, i int) {
+			succ[i] = b.Union(cc, 0, int32(i%n))
+		})
+	})
+	count := 0
+	for _, ok := range succ {
+		if ok {
+			count++
+		}
+	}
+	if count != n-1 {
+		t.Fatalf("%d unions succeeded, want %d", count, n-1)
+	}
+	if b.Seq().Sets() != 1 {
+		t.Fatalf("sets=%d", b.Seq().Sets())
+	}
+}

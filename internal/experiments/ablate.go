@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+	"batcher/internal/stats"
+)
+
+// ablationGraph builds a balanced workload with both substantial core
+// work and frequent data-structure ops, the regime where scheduling
+// policy choices matter.
+func ablationGraph(n int) *sim.Graph {
+	g := sim.NewGraph(n * 4)
+	ops := make([]*sim.Op, n)
+	for i := range ops {
+		ops[i] = &sim.Op{Records: 4}
+	}
+	g.ForkJoinDS(ops, 20, 20)
+	return g
+}
+
+// AblateResult is a generic knob-sweep result.
+type AblateResult struct {
+	Knob string
+	Rows *stats.Table
+	// makespans by knob value, in sweep order.
+	makespans []int64
+	labels    []string
+	// paperIdx is the sweep index of the paper's design choice.
+	paperIdx int
+}
+
+// AblateSteal compares steal policies (ABL-alt): the paper's
+// alternating policy against core-only, batch-only, and random.
+func AblateSteal(n, p int, seed uint64) AblateResult {
+	res := AblateResult{Knob: "steal policy"}
+	res.Rows = stats.NewTable("policy", "makespan", "vs alternating", "batches", "meanBatch", "failedSteals")
+	policies := []struct {
+		name string
+		pol  sim.StealPolicy
+	}{
+		{"alternating", sim.PolicyAlternating},
+		{"core-only", sim.PolicyCoreOnly},
+		{"batch-only", sim.PolicyBatchOnly},
+		{"random", sim.PolicyRandom},
+	}
+	var base int64
+	for _, pc := range policies {
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed, Policy: pc.pol},
+			&simds.SkipList{Size: 1 << 20}).Run(ablationGraph(n))
+		if pc.name == "alternating" {
+			base = r.Makespan
+		}
+		res.Rows.AddRow(pc.name, r.Makespan,
+			float64(r.Makespan)/float64(base), r.Batches, r.MeanBatchOps, r.FailedSteals)
+		res.makespans = append(res.makespans, r.Makespan)
+		res.labels = append(res.labels, pc.name)
+	}
+	return res
+}
+
+// AblateCap sweeps the batch-size cap (ABL-cap): Invariant 2's cap of P
+// against tighter caps that fragment batches.
+func AblateCap(n, p int, seed uint64) AblateResult {
+	res := AblateResult{Knob: "batch cap", paperIdx: 3} // cap = P is the paper's
+	res.Rows = stats.NewTable("cap", "makespan", "batches", "meanBatch", "maxWaited")
+	for _, cap := range []int{1, 2, 4, p} {
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed, BatchCap: cap},
+			&simds.SkipList{Size: 1 << 20}).Run(ablationGraph(n))
+		res.Rows.AddRow(cap, r.Makespan, r.Batches, r.MeanBatchOps, r.MaxBatchesWaited)
+		res.makespans = append(res.makespans, r.Makespan)
+		res.labels = append(res.labels, fmtCheck("%d", cap))
+	}
+	return res
+}
+
+// AblateLaunch sweeps the launch threshold (ABL-launch): the paper's
+// immediate launch (threshold 1) against accrual thresholds.
+func AblateLaunch(n, p int, seed uint64) AblateResult {
+	res := AblateResult{Knob: "launch threshold"}
+	res.Rows = stats.NewTable("threshold", "makespan", "batches", "meanBatch")
+	for _, th := range []int{1, 2, 4, p} {
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed, LaunchThreshold: th},
+			&simds.SkipList{Size: 1 << 20}).Run(ablationGraph(n))
+		res.Rows.AddRow(th, r.Makespan, r.Batches, r.MeanBatchOps)
+		res.makespans = append(res.makespans, r.Makespan)
+		res.labels = append(res.labels, fmtCheck("%d", th))
+	}
+	return res
+}
+
+// ShapeChecks for ablations assert the design choices the paper made are
+// not worse than the alternatives on this workload.
+func (r AblateResult) ShapeChecks() []Check {
+	if len(r.makespans) == 0 {
+		return nil
+	}
+	base := r.makespans[r.paperIdx] // the paper's design choice
+	worst := base
+	worstLabel := r.labels[r.paperIdx]
+	for i, m := range r.makespans {
+		if m > worst {
+			worst, worstLabel = m, r.labels[i]
+		}
+	}
+	return []Check{{
+		Name: fmtCheck("ablate-%s: the paper's choice (%s) is within 1.3x of the best setting",
+			r.Knob, r.labels[r.paperIdx]),
+		Pass:   float64(base) <= 1.3*float64(minI64(r.makespans)),
+		Detail: fmtCheck("%s=%d vs worst %s=%d", r.labels[r.paperIdx], base, worstLabel, worst),
+	}}
+}
+
+func minI64(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"math/bits"
+
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+	"batcher/internal/stats"
+)
+
+func lg2(n int64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return float64(bits.Len64(uint64(n - 1)))
+}
+
+// CounterRow is one point of the EX-counter experiment.
+type CounterRow struct {
+	Workers  int
+	Makespan int64
+	// Predicted is the Section 3 bound shape n·lgP/P + lg n (unscaled).
+	Predicted float64
+	// AtomicTime is the trivial concurrent counter's Ω(n) serialization.
+	AtomicTime int64
+}
+
+// CounterResult holds the EX-counter series.
+type CounterResult struct {
+	N    int
+	Rows []CounterRow
+}
+
+// Counter runs the Section 3 counter example: calls·recordsPer fully
+// parallel increments under BATCHER (simulated) versus the trivial
+// atomic counter whose increments serialize. As in the paper's skip-list
+// experiment, each call carries recordsPer increment records so that the
+// Θ(P)-work batch setup is amortized (with unit batches the constant
+// setup overhead dominates — the regime the paper's conclusion flags as
+// the open O(lg P)-overhead question).
+func Counter(calls, recordsPer int, workers []int, seed uint64) CounterResult {
+	n := calls * recordsPer
+	res := CounterResult{N: n}
+	for _, p := range workers {
+		g := sim.NewGraph(calls * 4)
+		ops := make([]*sim.Op, calls)
+		for i := range ops {
+			ops[i] = &sim.Op{Records: recordsPer}
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed}, simds.Counter{}).Run(g)
+		res.Rows = append(res.Rows, CounterRow{
+			Workers:    p,
+			Makespan:   r.Makespan,
+			Predicted:  float64(n)*lg2(int64(p))/float64(p) + lg2(int64(n)),
+			AtomicTime: int64(n), // n serialized fetch-and-adds
+		})
+	}
+	return res
+}
+
+// Table renders the counter series.
+func (r CounterResult) Table() *stats.Table {
+	t := stats.NewTable("P", "BATCHER time", "bound n·lgP/P + lgn", "time/bound", "atomic time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workers, row.Makespan, row.Predicted,
+			float64(row.Makespan)/row.Predicted, row.AtomicTime)
+	}
+	return t
+}
+
+// ShapeChecks verifies the counter example's claims: BATCHER's time
+// drops with P (near-linear speedup) while the atomic counter's cannot,
+// and the time/bound ratio stays within a constant band.
+func (r CounterResult) ShapeChecks() []Check {
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	speedup := float64(first.Makespan) / float64(last.Makespan)
+	ratios := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		ratios = append(ratios, float64(row.Makespan)/row.Predicted)
+	}
+	lo, hi := stats.MinMax(ratios)
+	return []Check{
+		{
+			Name:   "counter: BATCHER speeds up with P",
+			Pass:   speedup > float64(last.Workers)/3,
+			Detail: fmtCheck("speedup@P=%d = %.2fx", last.Workers, speedup),
+		},
+		{
+			Name:   "counter: makespan tracks the n·lgP/P + lgn bound",
+			Pass:   lo > 0 && hi/lo < 8,
+			Detail: fmtCheck("time/bound ratio in [%.2f, %.2f]", lo, hi),
+		},
+		{
+			Name: "counter: atomic counter cannot beat Ω(n) at any P",
+			Pass: float64(last.AtomicTime) > 0.9*float64(first.AtomicTime),
+			Detail: fmtCheck("atomic stays at %d steps while BATCHER@%d takes %d",
+				last.AtomicTime, last.Workers, last.Makespan),
+		},
+	}
+}
+
+// TreeRow is one point of the EX-tree experiment.
+type TreeRow struct {
+	N        int
+	Workers  int
+	Makespan int64
+	// Normalized is makespan·P / (n·lg(size)), which the Θ(n lg n / P)
+	// bound says should be flat.
+	Normalized float64
+}
+
+// TreeResult holds the EX-tree series.
+type TreeResult struct {
+	InitialSize int64
+	Rows        []TreeRow
+}
+
+// Tree runs the Section 3 search-tree example: n parallel inserts into a
+// 2-3 tree of the given initial size, checking the work-optimal
+// Θ(n lg n / P) scaling.
+func Tree(ns []int, workers []int, initialSize int64, seed uint64) TreeResult {
+	res := TreeResult{InitialSize: initialSize}
+	for _, n := range ns {
+		for _, p := range workers {
+			g := sim.NewGraph(n * 4)
+			ops := make([]*sim.Op, n)
+			for i := range ops {
+				ops[i] = &sim.Op{}
+			}
+			g.ForkJoinDS(ops, 1, 1)
+			r := sim.NewSim(sim.Config{Workers: p, Seed: seed},
+				&simds.Tree{Size: initialSize}).Run(g)
+			norm := float64(r.Makespan) * float64(p) /
+				(float64(n) * lg2(initialSize))
+			res.Rows = append(res.Rows, TreeRow{
+				N: n, Workers: p, Makespan: r.Makespan, Normalized: norm,
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the tree series.
+func (r TreeResult) Table() *stats.Table {
+	t := stats.NewTable("n", "P", "makespan", "makespan·P/(n·lg size)")
+	for _, row := range r.Rows {
+		t.AddRow(row.N, row.Workers, row.Makespan, row.Normalized)
+	}
+	return t
+}
+
+// ShapeChecks verifies the Θ(n lg n / P) claim: the normalized cost is
+// flat (within a constant band) across both n and P.
+func (r TreeResult) ShapeChecks() []Check {
+	norms := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		norms = append(norms, row.Normalized)
+	}
+	lo, hi := stats.MinMax(norms)
+	return []Check{{
+		Name:   "tree: makespan·P/(n·lg size) flat across n and P (work-optimal, linear speedup)",
+		Pass:   lo > 0 && hi/lo < 6,
+		Detail: fmtCheck("normalized cost in [%.2f, %.2f] over %d points", lo, hi, len(norms)),
+	}}
+}
+
+// StackRow is one point of the EX-stack experiment.
+type StackRow struct {
+	Workers  int
+	Makespan int64
+	Rebuilds int
+}
+
+// StackResult holds the EX-stack series.
+type StackResult struct {
+	N    int
+	Rows []StackRow
+}
+
+// Stack runs the Section 3 amortized-stack example: calls·recordsPer
+// parallel pushes through table doubling; despite Θ(n)-work individual
+// batches, the amortized bound O((T1 + n lg P)/P + m lg P + T∞) must
+// hold. Each call carries recordsPer push records (see Counter).
+func Stack(calls, recordsPer int, workers []int, seed uint64) StackResult {
+	res := StackResult{N: calls * recordsPer}
+	for _, p := range workers {
+		g := sim.NewGraph(calls * 4)
+		ops := make([]*sim.Op, calls)
+		for i := range ops {
+			ops[i] = &sim.Op{Records: recordsPer}
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		m := &simds.Stack{}
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed}, m).Run(g)
+		res.Rows = append(res.Rows, StackRow{
+			Workers: p, Makespan: r.Makespan, Rebuilds: m.Rebuilds,
+		})
+	}
+	return res
+}
+
+// Table renders the stack series.
+func (r StackResult) Table() *stats.Table {
+	t := stats.NewTable("P", "makespan", "rebuilds", "makespan·P/n")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workers, row.Makespan, row.Rebuilds,
+			float64(row.Makespan)*float64(row.Workers)/float64(r.N))
+	}
+	return t
+}
+
+// ShapeChecks verifies the amortized claim: per-op cost (makespan·P/n)
+// stays within a constant band even though some batches rebuild the
+// whole table, and the structure speeds up with P.
+func (r StackResult) ShapeChecks() []Check {
+	per := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		per = append(per, float64(row.Makespan)*float64(row.Workers)/float64(r.N))
+	}
+	lo, hi := stats.MinMax(per)
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	return []Check{
+		{
+			Name:   "stack: amortized per-op cost flat across P despite Θ(n) rebuild batches",
+			Pass:   lo > 0 && hi/lo < 8,
+			Detail: fmtCheck("makespan·P/n in [%.2f, %.2f]", lo, hi),
+		},
+		{
+			Name: "stack: speedup with P",
+			Pass: float64(first.Makespan)/float64(last.Makespan) > float64(last.Workers)/3,
+			Detail: fmtCheck("P=%d: %d -> P=%d: %d steps", first.Workers,
+				first.Makespan, last.Workers, last.Makespan),
+		},
+	}
+}
+
+// BoundFitResult reports the THM1 validation regression.
+type BoundFitResult struct {
+	Points int
+	Fit    stats.FitResult
+	Rows   *stats.Table
+	// Ratios holds makespan / (x1+x2+x3) per point: the constant-factor
+	// gap to the (unscaled) Theorem 1 bound.
+	Ratios []float64
+}
+
+// BoundFit sweeps (n, P, s) over the Uniform cost model and regresses
+// measured makespan against the Theorem 1 terms
+//
+//	x1 = (T1 + W(n) + n·s(n))/P,   x2 = m·s(n),   x3 = T∞,
+//
+// with s(n) = s + lg P (leaf weight plus binary-fork span of a size-P
+// batch) and m = 1 for the parallel-loop core program. Theorem 1 says
+// makespan = O(x1 + x2 + x3); the regression verifies linearity (high
+// R²) with moderate coefficients.
+func BoundFit(seed uint64) BoundFitResult {
+	var X [][]float64
+	var y []float64
+	var ratios []float64
+	table := stats.NewTable("n", "P", "s", "makespan", "(T1+W+ns)/P", "m·s", "Tinf")
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		for _, p := range []int{2, 4, 8} {
+			for _, s := range []int32{1, 4, 16} {
+				g := sim.NewGraph(n * 4)
+				ops := make([]*sim.Op, n)
+				for i := range ops {
+					ops[i] = &sim.Op{}
+				}
+				g.ForkJoinDS(ops, 1, 1)
+				t1 := float64(g.Work())
+				tInf := float64(g.Span())
+				r := sim.NewSim(sim.Config{Workers: p, Seed: seed},
+					simds.Uniform{Work: s}).Run(g)
+				sn := float64(s) + lg2(int64(p))
+				// The proof's processor-step accounting amortizes the
+				// batch-setup overhead into the work term, so it belongs
+				// in W here.
+				w := float64(r.BatchWork) + float64(r.SetupWork)
+				x1 := (t1 + w + float64(n)*sn) / float64(p)
+				x2 := sn // m = 1
+				x3 := tInf
+				X = append(X, []float64{x1, x2, x3})
+				y = append(y, float64(r.Makespan))
+				ratio := float64(r.Makespan) / (x1 + x2 + x3)
+				ratios = append(ratios, ratio)
+				table.AddRow(n, p, s, r.Makespan, x1, x2, x3)
+			}
+		}
+	}
+	fit, _ := stats.FitLinear(X, y)
+	return BoundFitResult{Points: len(y), Fit: fit, Rows: table, Ratios: ratios}
+}
+
+// ShapeChecks verifies the regression quality.
+func (r BoundFitResult) ShapeChecks() []Check {
+	coefOK := len(r.Fit.Coef) == 3
+	if coefOK {
+		// The dominant (work/P) coefficient must be Θ(1): the schedule
+		// wastes at most a constant factor over the bound.
+		c := r.Fit.Coef[0]
+		coefOK = c > 0.2 && c < 8
+	}
+	lo, hi := stats.MinMax(r.Ratios)
+	return []Check{
+		{
+			Name:   "thm1: makespan is linear in the Theorem 1 terms",
+			Pass:   r.Fit.R2 > 0.9,
+			Detail: fmtCheck("R² = %.4f over %d (n, P, s) points", r.Fit.R2, r.Points),
+		},
+		{
+			Name:   "thm1: (T1+W+n·s)/P coefficient is Θ(1)",
+			Pass:   coefOK,
+			Detail: fmtCheck("coefficients = %.3v", r.Fit.Coef),
+		},
+		{
+			Name:   "thm1: makespan within a small constant factor of the bound at every point",
+			Pass:   lo > 0.5 && hi/lo < 5,
+			Detail: fmtCheck("makespan/bound in [%.2f, %.2f]", lo, hi),
+		},
+	}
+}
+
+// Lemma2 exercises Lemma 2 ("a worker is trapped for at most two
+// batches") across parallel, serial-chain, and mixed workloads.
+func Lemma2(seed uint64) []Check {
+	var checks []Check
+	run := func(name string, build func() *sim.Graph, p int) {
+		r := sim.NewSim(sim.Config{Workers: p, Seed: seed}, simds.Counter{}).Run(build())
+		checks = append(checks, Check{
+			Name:   "lemma2: " + name,
+			Pass:   r.MaxBatchesWaited <= 2,
+			Detail: fmtCheck("max batches waited = %d (bound: 2)", r.MaxBatchesWaited),
+		})
+	}
+	run("parallel loop, P=8", func() *sim.Graph {
+		g := sim.NewGraph(1 << 12)
+		ops := make([]*sim.Op, 1000)
+		for i := range ops {
+			ops[i] = &sim.Op{}
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		return g
+	}, 8)
+	run("serial chain (m = n), P=8", func() *sim.Graph {
+		g := sim.NewGraph(1 << 9)
+		ops := make([]*sim.Op, 200)
+		for i := range ops {
+			ops[i] = &sim.Op{}
+		}
+		g.SerialDS(ops, 1)
+		return g
+	}, 8)
+	run("parallel loop with heavy core work, P=4", func() *sim.Graph {
+		g := sim.NewGraph(1 << 12)
+		ops := make([]*sim.Op, 500)
+		for i := range ops {
+			ops[i] = &sim.Op{}
+		}
+		g.ForkJoinDS(ops, 50, 50)
+		return g
+	}, 4)
+	return checks
+}

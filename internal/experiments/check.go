@@ -1,0 +1,25 @@
+package experiments
+
+import "fmt"
+
+// Check is one qualitative reproduction criterion: a claim from the
+// paper's evaluation (or analysis) and whether the measured data
+// supports it. EXPERIMENTS.md is generated from these.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// String renders "PASS name — detail".
+func (c Check) String() string {
+	status := "PASS"
+	if !c.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s  %s — %s", status, c.Name, c.Detail)
+}
+
+func fmtCheck(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFig5 keeps test runtime modest while preserving the shape.
+func smallFig5(fc bool) Fig5Config {
+	return Fig5Config{
+		Calls:         300,
+		RecordsPer:    100,
+		Sizes:         []int64{20_000, 1_000_000, 100_000_000},
+		Workers:       []int{1, 2, 4, 8},
+		Seed:          7,
+		FlatCombining: fc,
+	}
+}
+
+func TestFig5ChecksPass(t *testing.T) {
+	res := Fig5(smallFig5(true))
+	if len(res.Rows) != 3*4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+	tbl := res.Table().String()
+	if !strings.Contains(tbl, "BATCHER tput") {
+		t.Fatalf("table missing columns:\n%s", tbl)
+	}
+}
+
+func TestCounterChecksPass(t *testing.T) {
+	res := Counter(1000, 32, []int{1, 2, 4, 8}, 11)
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTreeChecksPass(t *testing.T) {
+	res := Tree([]int{2000, 8000}, []int{1, 2, 4, 8}, 1<<20, 13)
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+}
+
+func TestStackChecksPass(t *testing.T) {
+	res := Stack(1000, 32, []int{1, 2, 4, 8}, 17)
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+}
+
+func TestBoundFitChecksPass(t *testing.T) {
+	res := BoundFit(19)
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+}
+
+func TestLemma2ChecksPass(t *testing.T) {
+	for _, c := range Lemma2(23) {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, res := range []AblateResult{
+		AblateSteal(400, 8, 29),
+		AblateCap(400, 8, 31),
+		AblateLaunch(400, 8, 37),
+	} {
+		if res.Rows.String() == "" {
+			t.Fatalf("%s: empty table", res.Knob)
+		}
+		for _, c := range res.ShapeChecks() {
+			if !c.Pass {
+				t.Errorf("%s", c)
+			}
+		}
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	c := Check{Name: "x", Pass: true, Detail: "d"}
+	if !strings.HasPrefix(c.String(), "PASS") {
+		t.Fatal(c.String())
+	}
+	c.Pass = false
+	if !strings.HasPrefix(c.String(), "FAIL") {
+		t.Fatal(c.String())
+	}
+}
+
+func TestRealSkipListEnginesAgree(t *testing.T) {
+	cfg := RealSkipListConfig{
+		Calls: 50, RecordsPer: 20, Initial: 2000, Workers: 4, Seed: 41,
+	}
+	for name, f := range map[string]func(RealSkipListConfig) time.Duration{
+		"batcher": RealSkipListBatcher,
+		"seq":     RealSkipListSeq,
+		"mutex":   RealSkipListMutex,
+		"fc":      RealSkipListFlatCombining,
+	} {
+		if d := f(cfg); d <= 0 {
+			t.Errorf("%s: non-positive duration %v", name, d)
+		}
+	}
+	if RealSkipList(cfg).String() == "" {
+		t.Fatal("empty real table")
+	}
+}
+
+func TestRealCounters(t *testing.T) {
+	if d := RealCounterBatcher(4, 2000, 43); d <= 0 {
+		t.Fatalf("batcher counter duration %v", d)
+	}
+	if d := RealCounterAtomic(4, 2000); d <= 0 {
+		t.Fatalf("atomic counter duration %v", d)
+	}
+}
+
+func TestIntroChecksPass(t *testing.T) {
+	res := Intro(1000, 32, []int{1, 2, 4, 8}, 47)
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTauChecksPass(t *testing.T) {
+	res := Tau(2000, 32, 8, 53)
+	if res.Batches == 0 || len(res.Rows) == 0 {
+		t.Fatal("no data")
+	}
+	for _, c := range res.ShapeChecks() {
+		if !c.Pass {
+			t.Errorf("%s", c)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,188 @@
+// Package experiments implements the paper's evaluation harness: one
+// function per experiment in DESIGN.md's index (Fig5, Fig5-FC,
+// EX-counter, EX-tree, EX-stack, THM1, LEM2, and the ablations), shared
+// by the cmd/batcherlab CLI and the root benchmark suite. Simulator
+// experiments measure timesteps in the paper's dag model; real-runtime
+// experiments measure wall-clock on the goroutine-based scheduler.
+package experiments
+
+import (
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+	"batcher/internal/stats"
+)
+
+// Fig5Config parameterizes the skip-list throughput experiment of the
+// paper's Section 7 (Figure 5).
+type Fig5Config struct {
+	// Calls is the number of BATCHIFY calls; RecordsPer the insertion
+	// records per call (the paper: 1000 calls x 100 records = 100,000
+	// insertions).
+	Calls, RecordsPer int
+	// Sizes are the initial skip-list sizes (the paper: 20k, 100k, 1M,
+	// 10M, 100M).
+	Sizes []int64
+	// Workers are the P values to sweep (the paper: 1..8).
+	Workers []int
+	// Seed drives the simulator.
+	Seed uint64
+	// FlatCombining additionally simulates sequential batches.
+	FlatCombining bool
+}
+
+// DefaultFig5 returns the paper's exact parameters.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		Calls:      1000,
+		RecordsPer: 100,
+		Sizes:      []int64{20_000, 100_000, 1_000_000, 10_000_000, 100_000_000},
+		Workers:    []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Seed:       20140623, // SPAA'14 opening day
+	}
+}
+
+// Fig5Row is one measured point.
+type Fig5Row struct {
+	Size    int64
+	Workers int
+	// SeqThroughput is the sequential baseline (independent of Workers);
+	// BatThroughput is BATCHER's; FCThroughput flat combining's (only
+	// when requested). Throughputs are insertions per 1000 timesteps.
+	SeqThroughput float64
+	BatThroughput float64
+	FCThroughput  float64
+	// Batches and MeanBatch describe BATCHER's batching behaviour.
+	Batches   int64
+	MeanBatch float64
+}
+
+// Fig5Result is the experiment's full series.
+type Fig5Result struct {
+	Config Fig5Config
+	Rows   []Fig5Row
+}
+
+func fig5Graph(cfg Fig5Config) (*sim.Graph, int64) {
+	g := sim.NewGraph(cfg.Calls * 4)
+	ops := make([]*sim.Op, cfg.Calls)
+	for i := range ops {
+		ops[i] = &sim.Op{Records: cfg.RecordsPer}
+	}
+	g.ForkJoinDS(ops, 1, 1)
+	return g, int64(cfg.Calls) * int64(cfg.RecordsPer)
+}
+
+// Fig5 runs the experiment and returns every (size, P) point.
+func Fig5(cfg Fig5Config) Fig5Result {
+	res := Fig5Result{Config: cfg}
+	const kilo = 1000.0
+	for _, size := range cfg.Sizes {
+		gSeq, records := fig5Graph(cfg)
+		seqTime := sim.SequentialTime(gSeq, &simds.SkipList{Size: size})
+		seqTP := kilo * float64(records) / float64(seqTime)
+		for _, p := range cfg.Workers {
+			g, _ := fig5Graph(cfg)
+			r := sim.NewSim(sim.Config{Workers: p, Seed: cfg.Seed},
+				&simds.SkipList{Size: size}).Run(g)
+			row := Fig5Row{
+				Size:          size,
+				Workers:       p,
+				SeqThroughput: seqTP,
+				BatThroughput: kilo * r.Throughput(records),
+				Batches:       r.Batches,
+				MeanBatch:     r.MeanBatchOps,
+			}
+			if cfg.FlatCombining {
+				g2, _ := fig5Graph(cfg)
+				fc := sim.NewSim(sim.Config{Workers: p, Seed: cfg.Seed, SeqBatches: true},
+					&simds.SkipList{Size: size}).Run(g2)
+				row.FCThroughput = kilo * fc.Throughput(records)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Table renders the result in the shape of the paper's Figure 5: one row
+// per (size, P) with throughput columns.
+func (r Fig5Result) Table() *stats.Table {
+	cols := []string{"initial", "P", "SEQ tput", "BATCHER tput", "speedup", "batches", "meanBatch"}
+	if r.Config.FlatCombining {
+		cols = append(cols, "FC tput")
+	}
+	t := stats.NewTable(cols...)
+	var base float64
+	for _, row := range r.Rows {
+		if row.Workers == r.Config.Workers[0] {
+			base = row.BatThroughput
+		}
+		speedup := row.BatThroughput / base
+		cells := []any{row.Size, row.Workers, row.SeqThroughput,
+			row.BatThroughput, speedup, row.Batches, row.MeanBatch}
+		if r.Config.FlatCombining {
+			cells = append(cells, row.FCThroughput)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// ShapeChecks verifies the qualitative claims of Section 7 against the
+// measured series and returns human-readable pass/fail lines:
+//
+//  1. BATCHER's throughput rises with P for every size.
+//  2. SEQ beats 1-worker BATCHER on small lists (overhead dominates)
+//     but not on large ones.
+//  3. At the largest size, speedup at max P is roughly the paper's ~3x.
+//  4. Flat combining (if measured) does not scale with P.
+func (r Fig5Result) ShapeChecks() []Check {
+	var checks []Check
+	bySize := map[int64][]Fig5Row{}
+	for _, row := range r.Rows {
+		bySize[row.Size] = append(bySize[row.Size], row)
+	}
+	for _, size := range r.Config.Sizes {
+		rows := bySize[size]
+		first, last := rows[0], rows[len(rows)-1]
+		checks = append(checks, Check{
+			Name: fmtCheck("fig5: throughput rises with P (size %d)", size),
+			Pass: last.BatThroughput > first.BatThroughput*1.5,
+			Detail: fmtCheck("P=%d: %.1f -> P=%d: %.1f", first.Workers,
+				first.BatThroughput, last.Workers, last.BatThroughput),
+		})
+	}
+	small := bySize[r.Config.Sizes[0]][0]
+	checks = append(checks, Check{
+		Name:   "fig5: SEQ beats BATCHER@1 on the smallest list",
+		Pass:   small.SeqThroughput > small.BatThroughput,
+		Detail: fmtCheck("SEQ %.1f vs BAT@1 %.1f", small.SeqThroughput, small.BatThroughput),
+	})
+	largest := bySize[r.Config.Sizes[len(r.Config.Sizes)-1]]
+	lf, ll := largest[0], largest[len(largest)-1]
+	sp := ll.BatThroughput / lf.BatThroughput
+	checks = append(checks, Check{
+		Name:   "fig5: ~3x speedup at max P on the largest list",
+		Pass:   sp >= 2.0,
+		Detail: fmtCheck("speedup@P=%d = %.2fx (paper: 3.33x at 8)", ll.Workers, sp),
+	})
+	checks = append(checks, Check{
+		Name:   "fig5: BATCHER@maxP beats SEQ on the largest list",
+		Pass:   ll.BatThroughput > ll.SeqThroughput,
+		Detail: fmtCheck("BAT %.1f vs SEQ %.1f", ll.BatThroughput, ll.SeqThroughput),
+	})
+	if r.Config.FlatCombining {
+		fcFirst, fcLast := lf.FCThroughput, ll.FCThroughput
+		checks = append(checks, Check{
+			Name:   "fig5-fc: flat combining does not scale with P",
+			Pass:   fcLast < fcFirst*1.3,
+			Detail: fmtCheck("FC P=%d: %.1f -> P=%d: %.1f", lf.Workers, fcFirst, ll.Workers, fcLast),
+		})
+		checks = append(checks, Check{
+			Name:   "fig5-fc: BATCHER@maxP beats flat combining@maxP",
+			Pass:   ll.BatThroughput > fcLast,
+			Detail: fmtCheck("BAT %.1f vs FC %.1f", ll.BatThroughput, fcLast),
+		})
+	}
+	return checks
+}

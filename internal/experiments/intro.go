@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+	"batcher/internal/stats"
+)
+
+// Intro reproduces the paper's introduction argument (EX-intro): n
+// accesses to a conventional concurrent structure whose operations
+// contend — a fetch-and-add counter, or a search tree whose updates CAS
+// shared nodes — take Ω(n) time regardless of P, while the same program
+// over the implicitly batched structure speeds up with P.
+//
+// Both sides run in the same simulator on the same core program; only
+// the data-structure execution mode differs (Direct contended execution
+// vs. implicit batching).
+
+// IntroRow is one (P) point of the comparison.
+type IntroRow struct {
+	Workers int
+	// ConcurrentCounter / BatchedCounter are makespans for n increments.
+	ConcurrentCounter int64
+	BatchedCounter    int64
+	// ConcurrentTree / BatchedTree are makespans for n tree inserts.
+	ConcurrentTree int64
+	BatchedTree    int64
+}
+
+// IntroResult holds the series.
+type IntroResult struct {
+	Calls, RecordsPer int
+	Rows              []IntroRow
+}
+
+// Intro runs the comparison.
+func Intro(calls, recordsPer int, workers []int, seed uint64) IntroResult {
+	res := IntroResult{Calls: calls, RecordsPer: recordsPer}
+	build := func() *sim.Graph {
+		g := sim.NewGraph(calls * 4)
+		ops := make([]*sim.Op, calls)
+		for i := range ops {
+			ops[i] = &sim.Op{Records: recordsPer}
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		return g
+	}
+	const treeSize = 1 << 20
+	for _, p := range workers {
+		row := IntroRow{Workers: p}
+		row.ConcurrentCounter = sim.NewSim(sim.Config{
+			Workers: p, Seed: seed, Direct: simds.ContendedCounter{},
+		}, nil).Run(build()).Makespan
+		row.BatchedCounter = sim.NewSim(sim.Config{Workers: p, Seed: seed},
+			simds.Counter{}).Run(build()).Makespan
+		row.ConcurrentTree = sim.NewSim(sim.Config{
+			Workers: p, Seed: seed, Direct: &simds.ContendedTree{Size: treeSize, Contention: 4},
+		}, nil).Run(build()).Makespan
+		row.BatchedTree = sim.NewSim(sim.Config{Workers: p, Seed: seed},
+			&simds.Tree{Size: treeSize}).Run(build()).Makespan
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Table renders the series.
+func (r IntroResult) Table() *stats.Table {
+	t := stats.NewTable("P", "concurrent ctr", "BATCHER ctr", "concurrent tree", "BATCHER tree")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workers, row.ConcurrentCounter, row.BatchedCounter,
+			row.ConcurrentTree, row.BatchedTree)
+	}
+	return t
+}
+
+// ShapeChecks verifies the introduction's claims.
+func (r IntroResult) ShapeChecks() []Check {
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	n := int64(r.Calls * r.RecordsPer)
+	ccSpeedup := float64(first.ConcurrentCounter) / float64(last.ConcurrentCounter)
+	bcSpeedup := float64(first.BatchedCounter) / float64(last.BatchedCounter)
+	ctSpeedup := float64(first.ConcurrentTree) / float64(last.ConcurrentTree)
+	btSpeedup := float64(first.BatchedTree) / float64(last.BatchedTree)
+	return []Check{
+		{
+			Name:   "intro: contended counter stays Ω(n) at max P",
+			Pass:   last.ConcurrentCounter >= n,
+			Detail: fmtCheck("makespan %d >= n = %d at P=%d", last.ConcurrentCounter, n, last.Workers),
+		},
+		{
+			Name: "intro: batching speeds the counter up; contention does not",
+			Pass: bcSpeedup > 2 && bcSpeedup > 2*ccSpeedup,
+			Detail: fmtCheck("speedup@P=%d: batched %.2fx vs concurrent %.2fx",
+				last.Workers, bcSpeedup, ccSpeedup),
+		},
+		{
+			Name: "intro: batched tree outscales the contended tree",
+			Pass: btSpeedup > 2 && btSpeedup > 1.5*ctSpeedup,
+			Detail: fmtCheck("speedup@P=%d: batched %.2fx vs concurrent %.2fx",
+				last.Workers, btSpeedup, ctSpeedup),
+		},
+		{
+			Name:   "intro: batched tree beats contended tree outright at max P",
+			Pass:   last.BatchedTree < last.ConcurrentTree,
+			Detail: fmtCheck("%d vs %d timesteps", last.BatchedTree, last.ConcurrentTree),
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"batcher/internal/concurrent"
+	"batcher/internal/ds/counter"
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/flatcombine"
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+	"batcher/internal/stats"
+)
+
+// The real-runtime experiments exercise the goroutine-based BATCHER
+// scheduler end to end with wall-clock timing. On this repository's
+// single-CPU host they measure overheads and correctness rather than
+// parallel speedup (the simulator covers scaling); the harness still
+// sweeps P so that multi-core hosts reproduce the full figure.
+
+// RealSkipListConfig parameterizes the wall-clock skip-list experiment.
+type RealSkipListConfig struct {
+	// Calls is the number of data-structure calls; RecordsPer the keys
+	// per call (the paper's 100).
+	Calls, RecordsPer int
+	// Initial is the pre-populated list size.
+	Initial int
+	// Workers is P for the engines that take it.
+	Workers int
+	// Seed fixes keys and skip-list heights.
+	Seed uint64
+}
+
+// prepKeys generates the per-call key groups and the initial keys.
+func prepKeys(cfg RealSkipListConfig) (initial []int64, groups [][]int64) {
+	r := rng.New(cfg.Seed)
+	initial = make([]int64, cfg.Initial)
+	for i := range initial {
+		initial[i] = r.Int63()
+	}
+	groups = make([][]int64, cfg.Calls)
+	for g := range groups {
+		ks := make([]int64, cfg.RecordsPer)
+		for i := range ks {
+			ks[i] = r.Int63()
+		}
+		groups[g] = ks
+	}
+	return initial, groups
+}
+
+// RealSkipListBatcher times BATCHER executing the Figure 1-style loop of
+// InsertMany calls and returns the duration of the timed region.
+func RealSkipListBatcher(cfg RealSkipListConfig) time.Duration {
+	initial, groups := prepKeys(cfg)
+	b := skiplist.NewBatched(cfg.Seed)
+	for _, k := range initial {
+		b.List().Insert(k, 0)
+	}
+	rt := sched.New(sched.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	start := time.Now()
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, len(groups), 1, func(cc *sched.Ctx, i int) {
+			b.InsertMany(cc, groups[i], 0)
+		})
+	})
+	return time.Since(start)
+}
+
+// RealSkipListSeq times the sequential baseline (no concurrency
+// control) inserting the same keys.
+func RealSkipListSeq(cfg RealSkipListConfig) time.Duration {
+	initial, groups := prepKeys(cfg)
+	l := skiplist.NewList(cfg.Seed)
+	for _, k := range initial {
+		l.Insert(k, 0)
+	}
+	start := time.Now()
+	for _, g := range groups {
+		for _, k := range g {
+			l.Insert(k, 0)
+		}
+	}
+	return time.Since(start)
+}
+
+// RealSkipListMutex times the coarse-lock concurrent skip list driven by
+// Workers goroutines.
+func RealSkipListMutex(cfg RealSkipListConfig) time.Duration {
+	initial, groups := prepKeys(cfg)
+	m := concurrent.NewMutexSkipList(cfg.Seed)
+	for _, k := range initial {
+		m.Insert(k, 0)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for g := w; g < len(groups); g += cfg.Workers {
+				for _, k := range groups[g] {
+					m.Insert(k, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// RealSkipListFlatCombining times the flat-combined skip list driven by
+// Workers goroutines.
+func RealSkipListFlatCombining(cfg RealSkipListConfig) time.Duration {
+	initial, groups := prepKeys(cfg)
+	l := skiplist.NewList(cfg.Seed)
+	for _, k := range initial {
+		l.Insert(k, 0)
+	}
+	fc := flatcombine.New(cfg.Workers, func(r *flatcombine.Request) {
+		r.Ok = l.Insert(r.Key, r.Val)
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req := &flatcombine.Request{}
+			for g := w; g < len(groups); g += cfg.Workers {
+				for _, k := range groups[g] {
+					req.Key, req.Val = k, 0
+					fc.Do(w, req)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// RealSkipList runs all four engines at the given config and returns a
+// throughput table (inserts per millisecond).
+func RealSkipList(cfg RealSkipListConfig) *stats.Table {
+	records := float64(cfg.Calls * cfg.RecordsPer)
+	t := stats.NewTable("engine", "duration", "inserts/ms")
+	add := func(name string, d time.Duration) {
+		t.AddRow(name, d.Round(time.Microsecond).String(),
+			records/float64(d.Milliseconds()+1))
+	}
+	add("BATCHER", RealSkipListBatcher(cfg))
+	add("SEQ", RealSkipListSeq(cfg))
+	add("mutex", RealSkipListMutex(cfg))
+	add("flat-combining", RealSkipListFlatCombining(cfg))
+	return t
+}
+
+// RealCounterBatcher times n batched increments under BATCHER.
+func RealCounterBatcher(p, n int, seed uint64) time.Duration {
+	ctr := counter.New(0)
+	rt := sched.New(sched.Config{Workers: p, Seed: seed})
+	start := time.Now()
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) { ctr.Increment(cc, 1) })
+	})
+	d := time.Since(start)
+	if ctr.Value() != int64(n) {
+		panic("experiments: counter total wrong")
+	}
+	return d
+}
+
+// RealCounterAtomic times n fetch-and-add increments from p goroutines.
+func RealCounterAtomic(p, n int) time.Duration {
+	ctr := concurrent.NewAtomicCounter(0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += p {
+				ctr.Increment(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	if ctr.Value() != int64(n) {
+		panic("experiments: atomic counter total wrong")
+	}
+	return d
+}

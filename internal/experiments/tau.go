@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"batcher/internal/sim"
+	"batcher/internal/simds"
+	"batcher/internal/stats"
+)
+
+// Tau validates Theorem 3, the parameterized form of the running-time
+// bound: for any τ ≥ lg P,
+//
+//	T = O( (T1 + W(n) + n·τ)/P + T∞ + S_τ(n) + m·τ ),
+//
+// where S_τ(n) — the τ-trimmed span — is the sum of the spans of the
+// batches whose span exceeds τ. The theorem's tradeoff: raising τ
+// inflates the n·τ and m·τ terms but shrinks S_τ as fewer batches count
+// as "long"; Corollary 14 picks τ = s(n) where W/P dominates S_τ.
+//
+// The experiment runs one amortized-stack workload (chosen because its
+// rebuild batches give a genuinely heavy-tailed span distribution),
+// records every batch's BOP span, and evaluates the bound across a τ
+// grid, checking (a) the measured makespan is below a small constant
+// times the bound at every τ, (b) S_τ is non-increasing in τ, and (c)
+// at τ = s(n) the W/P term dominates S_τ, the fact Corollary 14 uses to
+// collapse Theorem 3 into Theorem 1.
+
+// TauRow is one τ grid point.
+type TauRow struct {
+	Tau int64
+	// LongBatches counts batches with span > τ; STau is their span sum.
+	LongBatches int
+	STau        int64
+	// Bound is (T1+W+n·τ)/P + T∞ + S_τ + m·τ for the measured run.
+	Bound float64
+	// Ratio is makespan / Bound.
+	Ratio float64
+}
+
+// TauResult holds the series.
+type TauResult struct {
+	Makespan int64
+	Batches  int
+	MaxSpan  int64
+	Rows     []TauRow
+	snTau    int64 // the τ = s(n)-ish pivot used by the checks
+	wOverP   float64
+	snSTau   int64
+}
+
+// Tau runs the Theorem 3 validation.
+func Tau(calls, recordsPer, p int, seed uint64) TauResult {
+	g := sim.NewGraph(calls * 4)
+	ops := make([]*sim.Op, calls)
+	for i := range ops {
+		ops[i] = &sim.Op{Records: recordsPer}
+	}
+	g.ForkJoinDS(ops, 1, 1)
+	t1 := float64(g.Work())
+	tInf := float64(g.Span())
+
+	r := sim.NewSim(sim.Config{Workers: p, Seed: seed, RecordBatchSpans: true},
+		&simds.Stack{}).Run(g)
+
+	res := TauResult{Makespan: r.Makespan, Batches: len(r.BatchSpans)}
+	var w float64
+	for _, b := range r.BatchSpans {
+		w += float64(b.Work)
+		if b.Span > res.MaxSpan {
+			res.MaxSpan = b.Span
+		}
+	}
+	res.wOverP = w / float64(p)
+
+	n := float64(calls)
+	const m = 1 // parallel loop: one data-structure node per path
+	// τ grid: lg P up to beyond the largest batch span.
+	for tau := int64(lg2(int64(p))); tau <= res.MaxSpan*2; tau *= 2 {
+		var sTau int64
+		long := 0
+		for _, b := range r.BatchSpans {
+			if b.Span > tau {
+				sTau += b.Span
+				long++
+			}
+		}
+		bound := (t1+w+n*float64(tau))/float64(p) + tInf + float64(sTau) + float64(m*tau)
+		res.Rows = append(res.Rows, TauRow{
+			Tau: tau, LongBatches: long, STau: sTau,
+			Bound: bound, Ratio: float64(r.Makespan) / bound,
+		})
+	}
+
+	// Corollary 14's pivot: τ = s(n). For the amortized stack the paper
+	// derives s(n) = O(lg P) from the parallelism-limited definition; the
+	// fork-join constant makes it ~2 lg(P·recordsPer) here, so use the
+	// median batch span as the empirical s(n).
+	spans := make([]int64, 0, len(r.BatchSpans))
+	for _, b := range r.BatchSpans {
+		spans = append(spans, b.Span)
+	}
+	res.snTau = median(spans)
+	for _, b := range r.BatchSpans {
+		if b.Span > res.snTau {
+			res.snSTau += b.Span
+		}
+	}
+	return res
+}
+
+func median(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int64(nil), xs...)
+	for i := 1; i < len(cp); i++ { // insertion sort; batches are few
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// Table renders the τ grid.
+func (r TauResult) Table() *stats.Table {
+	t := stats.NewTable("tau", "long batches", "S_tau", "bound", "makespan/bound")
+	for _, row := range r.Rows {
+		t.AddRow(row.Tau, row.LongBatches, row.STau, row.Bound, row.Ratio)
+	}
+	return t
+}
+
+// ShapeChecks verifies the Theorem 3 properties.
+func (r TauResult) ShapeChecks() []Check {
+	ratios := make([]float64, 0, len(r.Rows))
+	monotone := true
+	for i, row := range r.Rows {
+		ratios = append(ratios, row.Ratio)
+		if i > 0 && row.STau > r.Rows[i-1].STau {
+			monotone = false
+		}
+	}
+	_, hi := stats.MinMax(ratios)
+	return []Check{
+		{
+			Name:   "thm3: makespan within a small constant of the bound at every τ in the grid",
+			Pass:   hi <= 1.5,
+			Detail: fmtCheck("max makespan/bound = %.3f over %d τ values", hi, len(r.Rows)),
+		},
+		{
+			Name:   "thm3: τ-trimmed span is non-increasing in τ",
+			Pass:   monotone,
+			Detail: fmtCheck("S_τ from %d down to %d across the grid", r.Rows[0].STau, r.Rows[len(r.Rows)-1].STau),
+		},
+		{
+			Name: "cor14: at τ ≈ s(n), W(n)/P dominates S_τ(n)",
+			Pass: r.wOverP >= float64(r.snSTau),
+			Detail: fmtCheck("W/P = %.0f vs S_τ = %d at τ = %d (median batch span)",
+				r.wOverP, r.snSTau, r.snTau),
+		},
+	}
+}

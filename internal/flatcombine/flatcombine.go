@@ -1,0 +1,110 @@
+// Package flatcombine implements flat combining (Hendler, Incze, Shavit,
+// Tzafrir, SPAA 2010), which the paper treats as the special case of
+// implicit batching whose batches execute *sequentially*: each thread
+// publishes an operation record in a per-thread slot; whichever thread
+// acquires the combiner lock scans all slots and applies every pending
+// operation itself, one after another.
+//
+// The paper's Section 7 observes that flat combining matches BATCHER at
+// one processor but degrades as cores are added (the combiner is a
+// sequential bottleneck), while BATCHER speeds up — the comparison the
+// Fig5-FC experiment reproduces.
+package flatcombine
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Request is a published operation record. Kind/Key/Val are inputs,
+// Res/Ok outputs. A Request may be reused after Do returns.
+type Request struct {
+	Kind     int32
+	Key, Val int64
+	Res      int64
+	Ok       bool
+
+	state atomic.Int32 // 0 idle, 1 pending, 2 done
+}
+
+const (
+	reqIdle int32 = iota
+	reqPending
+	reqDone
+)
+
+// Apply is the sequential operation the combiner runs for each pending
+// request. It is always invoked under the combiner lock, so it needs no
+// synchronization of its own — the same "no concurrency control inside
+// the structure" property batched structures enjoy.
+type Apply func(r *Request)
+
+// Combiner coordinates flat-combined access for a fixed number of
+// threads, each identified by a tid in [0, threads).
+type Combiner struct {
+	apply Apply
+	lock  atomic.Int32
+	slots []paddedSlot
+
+	// Combines counts lock acquisitions; Applied counts operations
+	// executed by combiners. Their ratio is the mean combining degree.
+	Combines atomic.Int64
+	Applied  atomic.Int64
+}
+
+type paddedSlot struct {
+	req atomic.Pointer[Request]
+	_   [56]byte // avoid false sharing between neighboring slots
+}
+
+// New returns a combiner for the given thread count around apply.
+func New(threads int, apply Apply) *Combiner {
+	return &Combiner{apply: apply, slots: make([]paddedSlot, threads)}
+}
+
+// Do executes r on behalf of thread tid and blocks until it has been
+// applied (by this thread acting as combiner, or by another combiner).
+func (c *Combiner) Do(tid int, r *Request) {
+	r.state.Store(reqPending)
+	c.slots[tid].req.Store(r)
+	for {
+		if r.state.Load() == reqDone {
+			r.state.Store(reqIdle)
+			return
+		}
+		if c.lock.Load() == 0 && c.lock.CompareAndSwap(0, 1) {
+			c.combine()
+			c.lock.Store(0)
+			if r.state.Load() == reqDone {
+				r.state.Store(reqIdle)
+				return
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine scans every slot and applies all pending requests, in slot
+// order. Called with the lock held.
+func (c *Combiner) combine() {
+	c.Combines.Add(1)
+	for i := range c.slots {
+		req := c.slots[i].req.Load()
+		if req == nil || req.state.Load() != reqPending {
+			continue
+		}
+		c.apply(req)
+		c.Applied.Add(1)
+		req.state.Store(reqDone)
+	}
+}
+
+// MeanCombiningDegree returns applied operations per combining pass.
+func (c *Combiner) MeanCombiningDegree() float64 {
+	n := c.Combines.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Applied.Load()) / float64(n)
+}

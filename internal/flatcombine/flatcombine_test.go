@@ -1,0 +1,138 @@
+package flatcombine
+
+import (
+	"sync"
+	"testing"
+
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/rng"
+)
+
+func TestSingleThread(t *testing.T) {
+	total := int64(0)
+	fc := New(1, func(r *Request) {
+		total += r.Val
+		r.Res = total
+		r.Ok = true
+	})
+	r := &Request{Val: 5}
+	fc.Do(0, r)
+	if !r.Ok || r.Res != 5 {
+		t.Fatalf("Res = %d, Ok = %v", r.Res, r.Ok)
+	}
+}
+
+func TestParallelCounterSum(t *testing.T) {
+	const threads, per = 8, 5000
+	total := int64(0)
+	fc := New(threads, func(r *Request) {
+		total += r.Val
+		r.Res = total
+	})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := &Request{Val: 1}
+			for j := 0; j < per; j++ {
+				fc.Do(tid, r)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if total != threads*per {
+		t.Fatalf("total = %d, want %d", total, threads*per)
+	}
+}
+
+func TestReturnValuesUnique(t *testing.T) {
+	const threads, per = 4, 2000
+	total := int64(0)
+	fc := New(threads, func(r *Request) {
+		total += r.Val
+		r.Res = total
+	})
+	results := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			results[tid] = make([]int64, per)
+			r := &Request{Val: 1}
+			for j := 0; j < per; j++ {
+				fc.Do(tid, r)
+				results[tid][j] = r.Res
+			}
+		}(tid)
+	}
+	wg.Wait()
+	seen := make([]bool, threads*per+1)
+	for _, rs := range results {
+		for _, v := range rs {
+			if v < 1 || v > threads*per || seen[v] {
+				t.Fatalf("non-unique combined result %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Flat-combined skip list: the paper's comparison structure.
+const (
+	fcInsert int32 = iota
+	fcContains
+)
+
+func TestFlatCombinedSkipList(t *testing.T) {
+	l := skiplist.NewList(7)
+	fc := New(8, func(r *Request) {
+		switch r.Kind {
+		case fcInsert:
+			r.Ok = l.Insert(r.Key, r.Val)
+		case fcContains:
+			r.Res, r.Ok = l.Contains(r.Key)
+		}
+	})
+	const threads, per = 8, 1000
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := &Request{}
+			rnd := rng.New(uint64(tid) + 1)
+			for j := 0; j < per; j++ {
+				r.Kind = fcInsert
+				r.Key = rnd.Int63() % 4000
+				r.Val = r.Key
+				fc.Do(tid, r)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	// All inserted keys present, list consistent.
+	keys := l.Keys()
+	if len(keys) != l.Len() {
+		t.Fatalf("Keys len %d vs Len %d", len(keys), l.Len())
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("list unsorted after flat combining")
+		}
+	}
+	if fc.Combines.Load() == 0 || fc.Applied.Load() != threads*per {
+		t.Fatalf("combines=%d applied=%d", fc.Combines.Load(), fc.Applied.Load())
+	}
+	if d := fc.MeanCombiningDegree(); d < 1 {
+		t.Fatalf("mean combining degree %v < 1", d)
+	}
+}
+
+func TestMeanCombiningDegreeEmpty(t *testing.T) {
+	fc := New(2, func(*Request) {})
+	if fc.MeanCombiningDegree() != 0 {
+		t.Fatal("nonzero degree with no combines")
+	}
+}

@@ -1,0 +1,122 @@
+// Package prefix implements parallel prefix sums (scan) in the fork-join
+// model, following Ladner and Fischer's approach adapted to dynamic
+// multithreading: an upsweep that reduces blocks, a sequential scan of the
+// (few) block sums, and a downsweep that scans each block with its offset.
+// For x elements the algorithm has O(x) work and O(lg x) span, the bounds
+// the paper quotes for the batched counter (Section 3).
+package prefix
+
+import "batcher/internal/sched"
+
+// grain is the block size below which a scan runs sequentially. The
+// upsweep/downsweep recursion is over blocks, so span is
+// O(lg(x/grain) + grain) = O(lg x) for constant grain.
+const grain = 512
+
+// InclusiveInt64 replaces xs with its inclusive prefix sums in parallel:
+// xs[i] becomes xs[0] + ... + xs[i]. It returns the total.
+func InclusiveInt64(c *sched.Ctx, xs []int64) int64 {
+	return InclusiveFunc(c, xs, func(a, b int64) int64 { return a + b })
+}
+
+// ExclusiveInt64 replaces xs with its exclusive prefix sums in parallel:
+// xs[i] becomes xs[0] + ... + xs[i-1], with xs[0] = 0. It returns the
+// total (the inclusive sum of the original slice).
+func ExclusiveInt64(c *sched.Ctx, xs []int64) int64 {
+	total := InclusiveInt64(c, xs)
+	// Shift right by one in parallel. Work O(x), span O(lg x).
+	n := len(xs)
+	if n == 0 {
+		return total
+	}
+	shifted := make([]int64, n)
+	c.For(1, n, grain, func(_ *sched.Ctx, i int) { shifted[i] = xs[i-1] })
+	c.For(0, n, grain, func(_ *sched.Ctx, i int) { xs[i] = shifted[i] })
+	return total
+}
+
+// InclusiveFunc is InclusiveInt64 generalized to any associative
+// operation op over int64 (e.g. max for a prefix-maxima scan). op must be
+// associative; it need not be commutative.
+func InclusiveFunc(c *sched.Ctx, xs []int64, op func(a, b int64) int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n <= grain {
+		for i := 1; i < n; i++ {
+			xs[i] = op(xs[i-1], xs[i])
+		}
+		return xs[n-1]
+	}
+
+	blocks := (n + grain - 1) / grain
+	sums := make([]int64, blocks)
+
+	// Upsweep: reduce each block independently.
+	c.For(0, blocks, 1, func(_ *sched.Ctx, b int) {
+		lo, hi := b*grain, min((b+1)*grain, n)
+		acc := xs[lo]
+		for i := lo + 1; i < hi; i++ {
+			acc = op(acc, xs[i])
+		}
+		sums[b] = acc
+	})
+
+	// Scan the block sums. blocks = n/grain, so doing this sequentially
+	// keeps the span O(n/grain); for the sizes this repository handles
+	// that is dominated by the O(lg n) of the parallel loops, but to honor
+	// the O(lg x) span bound exactly we recurse when blocks is large.
+	if blocks > grain {
+		InclusiveFunc(c, sums, op)
+	} else {
+		for i := 1; i < blocks; i++ {
+			sums[i] = op(sums[i-1], sums[i])
+		}
+	}
+
+	// Downsweep: scan each block seeded with the preceding blocks' sum.
+	c.For(0, blocks, 1, func(_ *sched.Ctx, b int) {
+		lo, hi := b*grain, min((b+1)*grain, n)
+		var acc int64
+		haveAcc := false
+		if b > 0 {
+			acc, haveAcc = sums[b-1], true
+		}
+		for i := lo; i < hi; i++ {
+			if haveAcc {
+				xs[i] = op(acc, xs[i])
+			}
+			acc, haveAcc = xs[i], true
+		}
+	})
+	return xs[n-1]
+}
+
+// CompactBy writes the elements of xs whose keep flag is set into a new
+// dense slice, preserving order, using an exclusive scan of the flags.
+// This is the "pack" primitive BATCHER's LaunchBatch uses to build the
+// working set from the pending array. Work O(x), span O(lg x).
+func CompactBy[T any](c *sched.Ctx, xs []T, keep []bool) []T {
+	n := len(xs)
+	if n != len(keep) {
+		panic("prefix: CompactBy length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int64, n)
+	c.For(0, n, grain, func(_ *sched.Ctx, i int) {
+		if keep[i] {
+			idx[i] = 1
+		}
+	})
+	total := ExclusiveInt64(c, idx)
+	out := make([]T, total)
+	c.For(0, n, grain, func(_ *sched.Ctx, i int) {
+		if keep[i] {
+			out[idx[i]] = xs[i]
+		}
+	})
+	return out
+}

@@ -1,0 +1,206 @@
+package prefix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func runOn(p int, f func(c *sched.Ctx)) {
+	rt := sched.New(sched.Config{Workers: p, Seed: 42})
+	rt.Run(f)
+}
+
+func seqInclusive(xs []int64) []int64 {
+	out := make([]int64, len(xs))
+	var acc int64
+	for i, v := range xs {
+		acc += v
+		out[i] = acc
+	}
+	return out
+}
+
+func TestInclusiveSmall(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{5},
+		{1, 2, 3},
+		{-1, 1, -1, 1},
+		{0, 0, 0, 0, 0},
+	}
+	for _, in := range cases {
+		want := seqInclusive(in)
+		got := append([]int64(nil), in...)
+		runOn(4, func(c *sched.Ctx) { InclusiveInt64(c, got) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("in=%v: got[%d]=%d want %d", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInclusiveLargeAcrossWorkers(t *testing.T) {
+	r := rng.New(7)
+	const n = 100_000
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(r.Intn(1000)) - 500
+	}
+	want := seqInclusive(in)
+	for _, p := range []int{1, 2, 4, 8} {
+		got := append([]int64(nil), in...)
+		var total int64
+		runOn(p, func(c *sched.Ctx) { total = InclusiveInt64(c, got) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d: got[%d]=%d want %d", p, i, got[i], want[i])
+			}
+		}
+		if total != want[n-1] {
+			t.Fatalf("P=%d: total=%d want %d", p, total, want[n-1])
+		}
+	}
+}
+
+func TestExclusive(t *testing.T) {
+	in := []int64{3, 1, 7, 0, 2}
+	got := append([]int64(nil), in...)
+	var total int64
+	runOn(4, func(c *sched.Ctx) { total = ExclusiveInt64(c, got) })
+	want := []int64{0, 3, 4, 11, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	if total != 13 {
+		t.Fatalf("total=%d want 13", total)
+	}
+}
+
+func TestExclusiveEmpty(t *testing.T) {
+	runOn(2, func(c *sched.Ctx) {
+		if total := ExclusiveInt64(c, nil); total != 0 {
+			t.Errorf("total=%d", total)
+		}
+	})
+}
+
+func TestQuickInclusiveMatchesSequential(t *testing.T) {
+	f := func(in []int64) bool {
+		want := seqInclusive(in)
+		got := append([]int64(nil), in...)
+		runOn(4, func(c *sched.Ctx) { InclusiveInt64(c, got) })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInclusiveFuncMax(t *testing.T) {
+	in := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := append([]int64(nil), in...)
+	runOn(4, func(c *sched.Ctx) {
+		InclusiveFunc(c, got, func(a, b int64) int64 { return max(a, b) })
+	})
+	want := []int64{3, 3, 4, 4, 5, 9, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInclusiveFuncNonCommutative(t *testing.T) {
+	// op(a,b) = b ("last") is associative but not commutative; the scan
+	// must respect order: prefix-last is the identity transformation.
+	r := rng.New(9)
+	const n = 5000
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(r.Intn(1000))
+	}
+	got := append([]int64(nil), in...)
+	runOn(8, func(c *sched.Ctx) {
+		InclusiveFunc(c, got, func(a, b int64) int64 { return b })
+	})
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("got[%d]=%d want %d", i, got[i], in[i])
+		}
+	}
+}
+
+func TestCompactBy(t *testing.T) {
+	xs := []int{10, 11, 12, 13, 14, 15}
+	keep := []bool{true, false, true, true, false, true}
+	var out []int
+	runOn(4, func(c *sched.Ctx) { out = CompactBy(c, xs, keep) })
+	want := []int{10, 12, 13, 15}
+	if len(out) != len(want) {
+		t.Fatalf("len=%d want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d]=%d want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCompactByLarge(t *testing.T) {
+	r := rng.New(13)
+	const n = 50_000
+	xs := make([]int, n)
+	keep := make([]bool, n)
+	var want []int
+	for i := range xs {
+		xs[i] = i
+		keep[i] = r.Bool()
+		if keep[i] {
+			want = append(want, i)
+		}
+	}
+	var out []int
+	runOn(8, func(c *sched.Ctx) { out = CompactBy(c, xs, keep) })
+	if len(out) != len(want) {
+		t.Fatalf("len=%d want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d]=%d want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCompactByMismatchPanics(t *testing.T) {
+	runOn(1, func(c *sched.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on length mismatch")
+			}
+		}()
+		CompactBy(c, []int{1, 2}, []bool{true})
+	})
+}
+
+func BenchmarkInclusive100k(b *testing.B) {
+	xs := make([]int64, 100_000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	rt := sched.New(sched.Config{Workers: 4, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Run(func(c *sched.Ctx) { InclusiveInt64(c, xs) })
+	}
+}

@@ -1,0 +1,137 @@
+// Package psort implements parallel merge sort in the fork-join model:
+// O(x lg x) work and O(lg^2 x ... lg^3 x) span depending on the merge,
+// which is more than enough parallelism for size-P batches. The batched
+// 2-3 tree (Section 3 of the paper) sorts each batch before inserting,
+// and the batched skip list sorts batches before splicing.
+package psort
+
+import (
+	"sort"
+
+	"batcher/internal/sched"
+)
+
+const (
+	// seqSortCutoff is the size below which we fall back to the standard
+	// library's sequential sort.
+	seqSortCutoff = 1024
+	// seqMergeCutoff is the combined size below which merges run
+	// sequentially.
+	seqMergeCutoff = 2048
+)
+
+// Int64s sorts xs ascending, in parallel.
+func Int64s(c *sched.Ctx, xs []int64) {
+	Slice(c, xs, func(a, b int64) bool { return a < b })
+}
+
+// Slice sorts xs by less, in parallel. The sort is not stable.
+func Slice[T any](c *sched.Ctx, xs []T, less func(a, b T) bool) {
+	if len(xs) <= seqSortCutoff {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	buf := make([]T, len(xs))
+	mergeSort(c, xs, buf, less)
+}
+
+// mergeSort sorts xs using buf as scratch of equal length.
+func mergeSort[T any](c *sched.Ctx, xs, buf []T, less func(a, b T) bool) {
+	if len(xs) <= seqSortCutoff {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := len(xs) / 2
+	c.Fork(
+		func(cc *sched.Ctx) { mergeSort(cc, xs[:mid], buf[:mid], less) },
+		func(cc *sched.Ctx) { mergeSort(cc, xs[mid:], buf[mid:], less) },
+	)
+	parMerge(c, xs[:mid], xs[mid:], buf, less)
+	copyPar(c, xs, buf)
+}
+
+// parMerge merges sorted a and b into out (len(out) == len(a)+len(b))
+// with the classic parallel merge: split the larger input at its median,
+// binary-search the split point in the other, and recurse on both halves
+// in parallel. Span O(lg^2 n).
+func parMerge[T any](c *sched.Ctx, a, b, out []T, less func(x, y T) bool) {
+	if len(a)+len(b) <= seqMergeCutoff {
+		seqMerge(a, b, out, less)
+		return
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	ma := len(a) / 2
+	pivot := a[ma]
+	// mb = first index in b with b[mb] >= pivot.
+	mb := sort.Search(len(b), func(i int) bool { return !less(b[i], pivot) })
+	c.Fork(
+		func(cc *sched.Ctx) { parMerge(cc, a[:ma], b[:mb], out[:ma+mb], less) },
+		func(cc *sched.Ctx) { parMerge(cc, a[ma:], b[mb:], out[ma+mb:], less) },
+	)
+}
+
+func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+func copyPar[T any](c *sched.Ctx, dst, src []T) {
+	c.For(0, len(dst), seqMergeCutoff, func(_ *sched.Ctx, i int) { dst[i] = src[i] })
+}
+
+// Merge merges two sorted slices into a freshly allocated sorted slice,
+// in parallel. Used by batched structures that maintain sorted runs.
+func Merge[T any](c *sched.Ctx, a, b []T, less func(x, y T) bool) []T {
+	out := make([]T, len(a)+len(b))
+	parMerge(c, a, b, out, less)
+	return out
+}
+
+// IsSorted reports whether xs is ascending by less (sequential helper for
+// assertions and tests).
+func IsSorted[T any](xs []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(xs); i++ {
+		if less(xs[i], xs[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dedup removes adjacent duplicates (by the given equality) from a sorted
+// slice, returning the dense prefix. Batched structures use it to
+// collapse repeated keys within a batch.
+func Dedup[T any](xs []T, eq func(a, b T) bool) []T {
+	if len(xs) == 0 {
+		return xs
+	}
+	k := 1
+	for i := 1; i < len(xs); i++ {
+		if !eq(xs[i], xs[k-1]) {
+			xs[k] = xs[i]
+			k++
+		}
+	}
+	return xs[:k]
+}

@@ -1,0 +1,214 @@
+package psort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"batcher/internal/rng"
+	"batcher/internal/sched"
+)
+
+func runOn(p int, f func(c *sched.Ctx)) {
+	rt := sched.New(sched.Config{Workers: p, Seed: 99})
+	rt.Run(f)
+}
+
+func TestInt64sSmall(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{1},
+		{2, 1},
+		{3, 1, 2},
+		{5, 5, 5, 5},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+	}
+	for _, in := range cases {
+		got := append([]int64(nil), in...)
+		runOn(4, func(c *sched.Ctx) { Int64s(c, got) })
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("in=%v: got=%v want=%v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestInt64sLarge(t *testing.T) {
+	r := rng.New(17)
+	const n = 200_000
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = r.Int63() % 1000 // many duplicates
+	}
+	for _, p := range []int{1, 4, 8} {
+		got := append([]int64(nil), in...)
+		runOn(p, func(c *sched.Ctx) { Int64s(c, got) })
+		if !IsSorted(got, func(a, b int64) bool { return a < b }) {
+			t.Fatalf("P=%d: output not sorted", p)
+		}
+		// Multiset preserved.
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d: got[%d]=%d want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSliceCustomLess(t *testing.T) {
+	type kv struct{ k, v int }
+	xs := []kv{{3, 0}, {1, 1}, {2, 2}, {1, 3}}
+	runOn(2, func(c *sched.Ctx) {
+		Slice(c, xs, func(a, b kv) bool { return a.k < b.k })
+	})
+	for i := 1; i < len(xs); i++ {
+		if xs[i].k < xs[i-1].k {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	f := func(in []int64) bool {
+		got := append([]int64(nil), in...)
+		runOn(4, func(c *sched.Ctx) { Int64s(c, got) })
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []int64{1, 3, 5, 7}
+	b := []int64{2, 2, 6, 8, 10}
+	var out []int64
+	runOn(4, func(c *sched.Ctx) {
+		out = Merge(c, a, b, func(x, y int64) bool { return x < y })
+	})
+	want := []int64{1, 2, 2, 3, 5, 6, 7, 8, 10}
+	if len(out) != len(want) {
+		t.Fatalf("len=%d want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out=%v want %v", out, want)
+		}
+	}
+}
+
+func TestMergeLargeParallelPath(t *testing.T) {
+	r := rng.New(23)
+	mk := func(n int) []int64 {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = r.Int63() % 500
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return xs
+	}
+	a, b := mk(30_000), mk(50_000)
+	var out []int64
+	runOn(8, func(c *sched.Ctx) {
+		out = Merge(c, a, b, func(x, y int64) bool { return x < y })
+	})
+	if len(out) != len(a)+len(b) {
+		t.Fatalf("len=%d", len(out))
+	}
+	if !IsSorted(out, func(x, y int64) bool { return x < y }) {
+		t.Fatal("merge output not sorted")
+	}
+	// Multiset check via counting.
+	count := map[int64]int{}
+	for _, v := range a {
+		count[v]++
+	}
+	for _, v := range b {
+		count[v]++
+	}
+	for _, v := range out {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("key %d count mismatch %d", k, c)
+		}
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	runOn(2, func(c *sched.Ctx) {
+		less := func(x, y int64) bool { return x < y }
+		if out := Merge(c, nil, []int64{1, 2}, less); len(out) != 2 {
+			t.Errorf("nil left: %v", out)
+		}
+		if out := Merge(c, []int64{1, 2}, nil, less); len(out) != 2 {
+			t.Errorf("nil right: %v", out)
+		}
+		if out := Merge[int64](c, nil, nil, less); len(out) != 0 {
+			t.Errorf("both nil: %v", out)
+		}
+	})
+}
+
+func TestDedup(t *testing.T) {
+	eq := func(a, b int64) bool { return a == b }
+	cases := []struct{ in, want []int64 }{
+		{nil, nil},
+		{[]int64{1}, []int64{1}},
+		{[]int64{1, 1, 1}, []int64{1}},
+		{[]int64{1, 2, 2, 3, 3, 3}, []int64{1, 2, 3}},
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		got := Dedup(append([]int64(nil), tc.in...), eq)
+		if len(got) != len(tc.want) {
+			t.Fatalf("in=%v got=%v want=%v", tc.in, got, tc.want)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("in=%v got=%v want=%v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	if !IsSorted([]int{1, 2, 2, 3}, less) {
+		t.Fatal("sorted slice reported unsorted")
+	}
+	if IsSorted([]int{2, 1}, less) {
+		t.Fatal("unsorted slice reported sorted")
+	}
+	if !IsSorted([]int{}, less) {
+		t.Fatal("empty slice reported unsorted")
+	}
+}
+
+func BenchmarkSort100k(b *testing.B) {
+	r := rng.New(31)
+	in := make([]int64, 100_000)
+	for i := range in {
+		in[i] = r.Int63()
+	}
+	rt := sched.New(sched.Config{Workers: 4, Seed: 1})
+	buf := make([]int64, len(in))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, in)
+		rt.Run(func(c *sched.Ctx) { Int64s(c, buf) })
+	}
+}

@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for the SplitMix64 sequence with seed 0, from the
+	// public-domain reference implementation.
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after re-seed, value %d = %#x, want %#x", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(11)
+	seen := make([]bool, 8)
+	for i := 0; i < 10000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(8) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	f := func(seed uint64, xs []int) bool {
+		cp := append([]int(nil), xs...)
+		Shuffle(New(seed), cp)
+		count := map[int]int{}
+		for _, v := range xs {
+			count[v]++
+		}
+		for _, v := range cp {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricLevelBounds(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 10000; i++ {
+		l := r.GeometricLevel(20)
+		if l < 0 || l > 20 {
+			t.Fatalf("level %d out of [0,20]", l)
+		}
+	}
+}
+
+func TestGeometricLevelDistribution(t *testing.T) {
+	r := New(321)
+	const n = 200000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		if r.GeometricLevel(30) == 0 {
+			zeros++
+		}
+	}
+	// P(level = 0) = 1/2.
+	frac := float64(zeros) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("P(level=0) = %v, want ~0.5", frac)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(77)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("P(true) = %v, want ~0.5", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(8)
+	}
+	_ = sink
+}

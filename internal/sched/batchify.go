@@ -1,0 +1,217 @@
+package sched
+
+// This file implements the implicit-batching half of BATCHER: the
+// Batchify entry point called by core-program tasks (Figure 3) and the
+// LaunchBatch procedure (Figure 4).
+
+// OpKind is a data-structure-specific operation code. The scheduler never
+// interprets it; it exists so that a single OpRecord type serves every
+// batched structure in the repository.
+type OpKind int32
+
+// OpRecord is the operation record a worker publishes when it encounters
+// a data-structure node. The Kind/Key/Val fields are inputs and Res/Ok
+// are outputs, with Aux as an escape hatch for structures whose payloads
+// do not fit in two integers. Records are owned by the calling task until
+// Batchify returns, then again by the caller; the data structure may read
+// and write them freely while its batch executes.
+type OpRecord struct {
+	// DS is the target data structure; the scheduler groups a batch's
+	// records by DS and invokes each structure's RunBatch on its group.
+	DS Batched
+	// Kind is the structure-specific operation code.
+	Kind OpKind
+	// Key and Val are the operation's integer inputs.
+	Key, Val int64
+	// Res is the operation's integer result, filled in by RunBatch.
+	Res int64
+	// Ok is the operation's boolean result (e.g. "key was present").
+	Ok bool
+	// Aux carries non-integer payloads when a structure needs them.
+	Aux any
+
+	// worker is the id of the trapped worker, recorded by Batchify so
+	// that LaunchBatch can flip exactly the participants' statuses.
+	worker int32
+}
+
+// Batched is the interface a batched data structure presents to the
+// scheduler: a single parallel batched operation (the paper's BOP).
+//
+// RunBatch performs every operation in ops, collectively and possibly in
+// parallel via ctx. The scheduler guarantees that at most one batch is
+// executing at any time (Invariant 1) and that len(ops) <= P
+// (Invariant 2), so implementations need no locks or atomics. RunBatch
+// runs as a batch-dag task: forks it performs go to batch deques and may
+// be executed by any worker, free or trapped.
+type Batched interface {
+	RunBatch(ctx *Ctx, ops []*OpRecord)
+}
+
+// Batchify submits op to the scheduler as a data-structure node and
+// blocks until some batch has performed it, per the trapped-worker rules
+// of Figure 3. It must be called from a core-dag task (data-structure
+// implementations must not access data structures). On return, op's
+// result fields are filled in.
+//
+// The calling worker becomes trapped: it publishes op in its pending-array
+// slot, sets its status to pending, and then executes only batch work —
+// popping its batch deque, launching a batch if none is active, or
+// stealing from random victims' batch deques — until its status becomes
+// done.
+func (c *Ctx) Batchify(op *OpRecord) {
+	if c.kind != KindCore {
+		panic("sched: Batchify called from a batch task; batched data structures must not access other batched structures")
+	}
+	if op.DS == nil {
+		panic("sched: Batchify with nil OpRecord.DS")
+	}
+	w := c.w
+	rt := w.rt
+	op.worker = int32(w.id)
+
+	// Publish the record, then the status. Both stores are sequentially
+	// consistent atomics, so a launcher that observes status==pending also
+	// observes the record.
+	rt.pending[w.id].Store(op)
+	w.status.Store(int32(StatusPending))
+	w.m.OpsSubmitted++
+
+	for {
+		rt.checkAbort()
+		// Trapped workers execute nodes from a batch deque when possible.
+		if t := w.batch.PopBottom(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if Status(w.status.Load()) == StatusDone {
+			w.status.Store(int32(StatusFree))
+			return
+		}
+		if rt.batchFlag.Load() == 0 && rt.batchFlag.CompareAndSwap(0, 1) {
+			// We are the launcher: inject LaunchBatch at the bottom of our
+			// batch deque and let the normal loop execute it (so that its
+			// parallel setup/cleanup is itself stealable batch work).
+			w.m.BatchesLaunched++
+			j := &join{}
+			j.pending.Store(1)
+			w.batch.PushBottom(&Task{
+				fn:   rt.launchBatchBody,
+				join: j,
+				kind: KindBatch,
+			})
+			continue
+		}
+		if !w.stealAndRun(true) {
+			w.backoff()
+		}
+	}
+}
+
+// launchBatchBody is the LaunchBatch procedure of Figure 4. It runs as an
+// ordinary batch-dag task on whichever workers steal into it.
+func (rt *Runtime) launchBatchBody(c *Ctx) {
+	nw := len(rt.workers)
+	rt.batchesActive.Add(1)
+	if got := rt.batchesActive.Load(); got != 1 {
+		panic("sched: Invariant 1 violated: more than one batch active")
+	}
+
+	// Step 1: acknowledge pending records (pending -> executing) and
+	// collect them. The status flips run as a parallel loop, as in the
+	// paper; grain keeps tiny P from drowning in fork overhead.
+	claimed := make([]*OpRecord, nw)
+	c.For(0, nw, 8, func(_ *Ctx, i int) {
+		wi := rt.workers[i]
+		if wi.status.CompareAndSwap(int32(StatusPending), int32(StatusExecuting)) {
+			claimed[i] = rt.pending[i].Swap(nil)
+			if claimed[i] == nil {
+				panic("sched: worker pending with empty pending slot")
+			}
+		}
+	})
+
+	// Step 2: compact the claimed records into the working set. The
+	// paper's prototype performs this step sequentially on small P
+	// (Section 7); we do the same — it is Θ(P) work either way.
+	working := make([]*OpRecord, 0, nw)
+	for _, op := range claimed {
+		if op != nil {
+			working = append(working, op)
+		}
+	}
+	if len(working) == 0 {
+		// Possible: the flag was CASed by a worker whose own record was
+		// consumed by the immediately preceding batch between its flag
+		// check and the launch executing. Nothing to do.
+		rt.batchesActive.Add(-1)
+		rt.batchFlag.Store(0)
+		return
+	}
+	if len(working) > nw {
+		panic("sched: Invariant 2 violated: batch larger than P")
+	}
+
+	// Step 3: execute the BOP on the working set. Records may target
+	// different structures; group by structure and run each group as its
+	// own batch dag. Groups run in parallel with one another — each
+	// structure still sees at most one batch at a time.
+	groups := groupByDS(working)
+	runGroups(c, groups)
+
+	// Record metrics before waking participants.
+	c.w.m.BatchesExecuted++
+	c.w.m.BatchedOps += int64(len(working))
+
+	// Step 4: mark participants done (executing -> done). Participants
+	// cannot have changed status themselves, so plain stores suffice.
+	c.For(0, len(working), 8, func(_ *Ctx, i int) {
+		op := working[i]
+		rt.workers[op.worker].status.Store(int32(StatusDone))
+	})
+
+	// Step 5: reset the global batch-status flag.
+	rt.batchesActive.Add(-1)
+	rt.batchFlag.Store(0)
+}
+
+// dsGroup is one structure's slice of a batch's working set.
+type dsGroup struct {
+	ds  Batched
+	ops []*OpRecord
+}
+
+// groupByDS partitions the working set by target structure, preserving
+// the (arbitrary) compaction order within each group. P is small, so a
+// linear scan with a tiny association list beats a map allocation.
+func groupByDS(working []*OpRecord) []dsGroup {
+	groups := make([]dsGroup, 0, 2)
+outer:
+	for _, op := range working {
+		for gi := range groups {
+			if groups[gi].ds == op.DS {
+				groups[gi].ops = append(groups[gi].ops, op)
+				continue outer
+			}
+		}
+		groups = append(groups, dsGroup{ds: op.DS, ops: []*OpRecord{op}})
+	}
+	return groups
+}
+
+// runGroups executes each group's RunBatch, in parallel across groups via
+// binary forking.
+func runGroups(c *Ctx, groups []dsGroup) {
+	switch len(groups) {
+	case 0:
+		return
+	case 1:
+		groups[0].ds.RunBatch(c, groups[0].ops)
+	default:
+		mid := len(groups) / 2
+		c.Fork(
+			func(cc *Ctx) { runGroups(cc, groups[:mid]) },
+			func(cc *Ctx) { runGroups(cc, groups[mid:]) },
+		)
+	}
+}

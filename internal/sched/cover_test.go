@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForkStolenBranchWaitPath forces the Fork slow path: the left branch
+// parks its worker until the right branch has demonstrably been stolen
+// and started elsewhere, so the forking worker must wait at the join (and
+// help) rather than popping the branch back. On a single-CPU host steals
+// are otherwise too rare for tests to reach this path.
+func TestForkStolenBranchWaitPath(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 601})
+	var ranB atomic.Bool
+	started := make(chan struct{})
+	rt.Run(func(c *Ctx) {
+		c.Fork(
+			func(*Ctx) {
+				// Hold this worker inside the left branch until the right
+				// branch is running on the other worker.
+				<-started
+			},
+			func(*Ctx) {
+				close(started)
+				// Keep the thief busy so the forker reaches its wait loop.
+				time.Sleep(2 * time.Millisecond)
+				ranB.Store(true)
+			},
+		)
+		if !ranB.Load() {
+			t.Error("Fork returned before stolen branch completed")
+		}
+	})
+}
+
+// TestHelpWhileWaitingRunsOwnBatchWork arranges for a worker waiting at a
+// batch-task join to find more batch work on its own deque.
+func TestHelpWhileWaitingRunsOwnBatchWork(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 602})
+	ds := &forkyDS{}
+	rt.Run(func(c *Ctx) {
+		c.For(0, 100, 1, func(cc *Ctx, i int) {
+			cc.Batchify(&OpRecord{DS: ds, Val: 1})
+		})
+	})
+	if ds.total.Load() != 100 {
+		t.Fatalf("total = %d", ds.total.Load())
+	}
+}
+
+func TestCtxAccessors(t *testing.T) {
+	rt := New(Config{Workers: 3, Seed: 603})
+	rt.Run(func(c *Ctx) {
+		if c.Runtime() != rt {
+			t.Error("Runtime() mismatch")
+		}
+		ran := false
+		c.Seq(func(cc *Ctx) {
+			if cc != c {
+				t.Error("Seq changed context")
+			}
+			ran = true
+		})
+		if !ran {
+			t.Error("Seq body did not run")
+		}
+	})
+}
+
+func TestMetricsStringAndMeanBatch(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 604})
+	ds := &sumDS{}
+	rt.Run(func(c *Ctx) {
+		c.For(0, 50, 1, func(cc *Ctx, i int) {
+			cc.Batchify(&OpRecord{DS: ds, Val: 1})
+		})
+	})
+	m := rt.Metrics()
+	if m.MeanBatchSize() <= 0 {
+		t.Fatalf("MeanBatchSize = %v", m.MeanBatchSize())
+	}
+	s := m.String()
+	for _, want := range []string{"P=2", "ops=50", "batches="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics string %q missing %q", s, want)
+		}
+	}
+	var empty Metrics
+	if empty.MeanBatchSize() != 0 {
+		t.Fatal("empty MeanBatchSize nonzero")
+	}
+}
+
+func TestConcurrentRunPanics(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 605})
+	inRun := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		rt.Run(func(c *Ctx) {
+			close(inRun)
+			<-release
+		})
+	}()
+	<-inRun
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("concurrent Run did not panic")
+			}
+			close(release)
+		}()
+		rt.Run(func(*Ctx) {})
+	}()
+}
+
+func TestMetricsDuringRunPanics(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 606})
+	inRun := make(chan struct{})
+	release := make(chan struct{})
+	var panicked atomic.Bool
+	go func() {
+		rt.Run(func(c *Ctx) {
+			close(inRun)
+			<-release
+		})
+	}()
+	<-inRun
+	func() {
+		defer func() {
+			panicked.Store(recover() != nil)
+			close(release)
+		}()
+		rt.Metrics()
+	}()
+	if !panicked.Load() {
+		t.Fatal("Metrics during Run did not panic")
+	}
+}
+
+func TestReduceGrainDefault(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 607})
+	rt.Run(func(c *Ctx) {
+		got := Reduce(c, 0, 10, 0, 0,
+			func(_ *Ctx, i int) int { return 1 },
+			func(a, b int) int { return a + b })
+		if got != 10 {
+			t.Errorf("Reduce = %d", got)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package sched
+
+// Ctx is the execution context handed to every task. It identifies the
+// worker running the task and the dag (core or batch) the task belongs
+// to, so that forks land on the correct deque (Invariant 3). A Ctx is
+// only valid for the dynamic extent of the task invocation it was passed
+// to; do not retain it.
+type Ctx struct {
+	w    *worker
+	kind Kind
+}
+
+// WorkerID returns the id (in [0, P)) of the worker currently executing
+// this task. Useful for per-worker scratch space in batched operations.
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// Workers returns P.
+func (c *Ctx) Workers() int { return len(c.w.rt.workers) }
+
+// Runtime returns the runtime executing this task.
+func (c *Ctx) Runtime() *Runtime { return c.w.rt }
+
+// Fork executes a and b in parallel (binary forking, as the paper
+// assumes) and returns when both have completed. b is made available for
+// stealing while the current worker runs a; if b was not stolen the
+// worker runs it itself, otherwise the worker helps with other legal work
+// until b's thief finishes.
+func (c *Ctx) Fork(a, b func(*Ctx)) {
+	w := c.w
+	j := &join{}
+	j.pending.Store(1)
+	bt := &Task{fn: b, join: j, kind: c.kind}
+	w.dequeFor(c.kind).PushBottom(bt)
+
+	a(c)
+
+	// Fast path: reclaim b from our own deque. The structured fork-join
+	// discipline guarantees that everything pushed above bt has been
+	// consumed by the time a returns, so the bottom item is bt or nothing.
+	if t := w.dequeFor(c.kind).PopBottom(); t != nil {
+		if t != bt {
+			// During an abort, tasks that unwound may have orphaned
+			// children in the deque; anything else is a scheduler bug.
+			if w.rt.aborting.Load() {
+				panic(abortSignal{})
+			}
+			panic("sched: fork-join deque discipline violated")
+		}
+		w.runTask(t)
+		return
+	}
+	// b was stolen: help until its thief completes it.
+	for j.pending.Load() != 0 {
+		w.rt.checkAbort()
+		w.helpWhileWaiting(c.kind)
+	}
+}
+
+// helpWhileWaiting runs one unit of other work (or backs off) while the
+// worker waits at a join inside a task of the given kind.
+//
+// Trapped workers may only execute batch work (Section 4). Additionally,
+// a worker waiting inside a *batch* task must not pick up core work even
+// if its status is free: a core task can contain a data-structure node,
+// and suspending at one underneath an active batch's frame would make the
+// batch's completion depend on a future batch — a deadlock cycle. Free
+// workers waiting inside core tasks may execute anything.
+func (w *worker) helpWhileWaiting(kind Kind) {
+	if t := w.batch.PopBottom(); t != nil {
+		w.runTask(t)
+		return
+	}
+	coreOK := kind == KindCore && w.isFree()
+	if coreOK {
+		if t := w.core.PopBottom(); t != nil {
+			w.runTask(t)
+			return
+		}
+	}
+	if !w.stealAndRun(!coreOK) {
+		w.backoff()
+	}
+}
+
+// For executes body(i) for every i in [lo, hi) with binary fork-join
+// recursion, descending to sequential chunks of at most grain iterations.
+// A grain of <= 0 defaults to 1. It matches the parallel_for construct
+// used throughout the paper.
+func (c *Ctx) For(lo, hi, grain int, body func(*Ctx, int)) {
+	if grain <= 0 {
+		grain = 1
+	}
+	c.forRange(lo, hi, grain, body)
+}
+
+func (c *Ctx) forRange(lo, hi, grain int, body func(*Ctx, int)) {
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.Fork(
+		func(cc *Ctx) { cc.forRange(lo, mid, grain, body) },
+		func(cc *Ctx) { cc.forRange(mid, hi, grain, body) },
+	)
+}
+
+// Seq runs body sequentially in the current task; it exists so that
+// examples can express "this phase is intentionally sequential" and reads
+// symmetric with Fork/For.
+func (c *Ctx) Seq(body func(*Ctx)) { body(c) }

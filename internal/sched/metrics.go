@@ -1,0 +1,90 @@
+package sched
+
+import "fmt"
+
+// WorkerMetrics are per-worker event counters. Each worker's counters are
+// written only by that worker's goroutine, so they need no atomics; read
+// them only after Run returns (via Runtime.Metrics).
+type WorkerMetrics struct {
+	// TasksRun counts task invocations (core and batch).
+	TasksRun int64
+	// OpsSubmitted counts Batchify calls made by this worker.
+	OpsSubmitted int64
+	// BatchesLaunched counts successful launch CASes by this worker.
+	BatchesLaunched int64
+	// BatchesExecuted counts LaunchBatch bodies that ran on this worker
+	// and carried a nonempty working set.
+	BatchesExecuted int64
+	// BatchedOps sums working-set sizes over BatchesExecuted.
+	BatchedOps int64
+	// FreeStealAttempts counts steal attempts made while free.
+	FreeStealAttempts int64
+	// TrappedStealAttempts counts steal attempts made while trapped.
+	TrappedStealAttempts int64
+	// SuccessfulSteals counts attempts that obtained a task.
+	SuccessfulSteals int64
+	// FailedSteals counts attempts that found nothing (or lost a race).
+	FailedSteals int64
+}
+
+// Metrics aggregates WorkerMetrics across workers.
+type Metrics struct {
+	WorkerMetrics
+	// Workers is P.
+	Workers int
+}
+
+func (m *Metrics) add(wm *WorkerMetrics) {
+	m.TasksRun += wm.TasksRun
+	m.OpsSubmitted += wm.OpsSubmitted
+	m.BatchesLaunched += wm.BatchesLaunched
+	m.BatchesExecuted += wm.BatchesExecuted
+	m.BatchedOps += wm.BatchedOps
+	m.FreeStealAttempts += wm.FreeStealAttempts
+	m.TrappedStealAttempts += wm.TrappedStealAttempts
+	m.SuccessfulSteals += wm.SuccessfulSteals
+	m.FailedSteals += wm.FailedSteals
+}
+
+// MeanBatchSize returns the average number of operations per executed
+// batch, or 0 if no batches ran.
+func (m *Metrics) MeanBatchSize() float64 {
+	if m.BatchesExecuted == 0 {
+		return 0
+	}
+	return float64(m.BatchedOps) / float64(m.BatchesExecuted)
+}
+
+// String renders the metrics in a compact single line, suitable for
+// experiment logs.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"P=%d tasks=%d ops=%d batches=%d meanBatch=%.2f steals(free=%d trapped=%d ok=%d fail=%d)",
+		m.Workers, m.TasksRun, m.OpsSubmitted, m.BatchesExecuted,
+		m.MeanBatchSize(), m.FreeStealAttempts, m.TrappedStealAttempts,
+		m.SuccessfulSteals, m.FailedSteals)
+}
+
+// Metrics returns counters aggregated across workers. Call only while no
+// Run is in progress.
+func (rt *Runtime) Metrics() Metrics {
+	if rt.running.Load() {
+		panic("sched: Metrics called during Run")
+	}
+	m := Metrics{Workers: len(rt.workers)}
+	for _, w := range rt.workers {
+		m.add(&w.m)
+	}
+	return m
+}
+
+// ResetMetrics zeroes all worker counters. Call only while no Run is in
+// progress.
+func (rt *Runtime) ResetMetrics() {
+	if rt.running.Load() {
+		panic("sched: ResetMetrics called during Run")
+	}
+	for _, w := range rt.workers {
+		w.m = WorkerMetrics{}
+	}
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustPanicWith runs f and returns the recovered panic value, failing the
+// test if f does not panic.
+func mustPanicWith(t *testing.T, f func()) any {
+	t.Helper()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		f()
+	}()
+	if got == nil {
+		t.Fatal("expected a panic")
+	}
+	return got
+}
+
+func TestPanicInRootPropagates(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 401})
+	err := errors.New("root boom")
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) { panic(err) })
+	})
+	if got != err {
+		t.Fatalf("panic value = %v, want %v", got, err)
+	}
+}
+
+func TestPanicInForkBranchPropagates(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 402})
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.Fork(
+				func(*Ctx) {},
+				func(*Ctx) { panic("branch boom") },
+			)
+		})
+	})
+	if s, ok := got.(string); !ok || s != "branch boom" {
+		t.Fatalf("panic value = %v", got)
+	}
+}
+
+func TestPanicDeepInParallelForPropagates(t *testing.T) {
+	rt := New(Config{Workers: 8, Seed: 403})
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.For(0, 1000, 1, func(_ *Ctx, i int) {
+				if i == 613 {
+					panic("iteration boom")
+				}
+			})
+		})
+	})
+	if s, ok := got.(string); !ok || !strings.Contains(s, "iteration boom") {
+		t.Fatalf("panic value = %v", got)
+	}
+}
+
+// panicDS panics from inside its batched operation.
+type panicDS struct{}
+
+func (panicDS) RunBatch(ctx *Ctx, ops []*OpRecord) { panic("bop boom") }
+
+func TestPanicInBOPPropagates(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 404})
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.For(0, 50, 1, func(cc *Ctx, i int) {
+				cc.Batchify(&OpRecord{DS: panicDS{}, Val: 1})
+			})
+		})
+	})
+	if s, ok := got.(string); !ok || s != "bop boom" {
+		t.Fatalf("panic value = %v", got)
+	}
+}
+
+// forkPanicDS panics inside a forked subtask of its BOP, so the panic
+// surfaces on whatever worker stole that subtask.
+type forkPanicDS struct{}
+
+func (forkPanicDS) RunBatch(ctx *Ctx, ops []*OpRecord) {
+	ctx.Fork(
+		func(*Ctx) {},
+		func(*Ctx) { panic("bop subtask boom") },
+	)
+}
+
+func TestPanicInBOPSubtaskPropagates(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 405})
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.For(0, 50, 1, func(cc *Ctx, i int) {
+				cc.Batchify(&OpRecord{DS: forkPanicDS{}, Val: 1})
+			})
+		})
+	})
+	if s, ok := got.(string); !ok || s != "bop subtask boom" {
+		t.Fatalf("panic value = %v", got)
+	}
+}
+
+func TestFirstPanicWins(t *testing.T) {
+	// Many iterations panic; Run must surface exactly one of them (the
+	// first recorded) rather than hanging or crashing workers.
+	rt := New(Config{Workers: 8, Seed: 406})
+	got := mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.For(0, 200, 1, func(_ *Ctx, i int) { panic(i) })
+		})
+	})
+	if _, ok := got.(int); !ok {
+		t.Fatalf("panic value = %v (%T)", got, got)
+	}
+}
+
+func TestPanicWithMixedSurvivingWork(t *testing.T) {
+	// A heavy mixed workload where one late task panics: everything must
+	// unwind promptly (the go test timeout is the hang detector).
+	rt := New(Config{Workers: 8, Seed: 407})
+	ds := &sumDS{}
+	mustPanicWith(t, func() {
+		rt.Run(func(c *Ctx) {
+			c.For(0, 500, 1, func(cc *Ctx, i int) {
+				cc.Batchify(&OpRecord{DS: ds, Val: 1})
+				if i == 499 {
+					panic("late boom")
+				}
+			})
+		})
+	})
+}

@@ -1,0 +1,53 @@
+package sched
+
+// Reduce computes combine(body(lo), body(lo+1), ..., body(hi-1)) with
+// binary fork-join recursion, descending to sequential folds of at most
+// grain iterations. combine must be associative; identity must be its
+// identity element. Work O(n·body), span O(lg n · combine).
+//
+// It is generic over the accumulator type so batched operations can fold
+// sums, maxima, merged slices, and so on without reimplementing the
+// recursion.
+func Reduce[T any](c *Ctx, lo, hi, grain int, identity T,
+	body func(*Ctx, int) T, combine func(a, b T) T) T {
+	if grain <= 0 {
+		grain = 1
+	}
+	return reduceRange(c, lo, hi, grain, identity, body, combine)
+}
+
+func reduceRange[T any](c *Ctx, lo, hi, grain int, identity T,
+	body func(*Ctx, int) T, combine func(a, b T) T) T {
+	if hi-lo <= grain {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, body(c, i))
+		}
+		return acc
+	}
+	mid := lo + (hi-lo)/2
+	var left, right T
+	c.Fork(
+		func(cc *Ctx) { left = reduceRange(cc, lo, mid, grain, identity, body, combine) },
+		func(cc *Ctx) { right = reduceRange(cc, mid, hi, grain, identity, body, combine) },
+	)
+	return combine(left, right)
+}
+
+// SumInt64 is Reduce specialized to int64 addition.
+func SumInt64(c *Ctx, lo, hi, grain int, body func(*Ctx, int) int64) int64 {
+	return Reduce(c, lo, hi, grain, 0, body,
+		func(a, b int64) int64 { return a + b })
+}
+
+// MaxInt64 is Reduce specialized to int64 maximum; it returns identity
+// for an empty range.
+func MaxInt64(c *Ctx, lo, hi, grain int, identity int64, body func(*Ctx, int) int64) int64 {
+	return Reduce(c, lo, hi, grain, identity, body,
+		func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+}

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumInt64(t *testing.T) {
+	for _, p := range []int{1, 4, 8} {
+		rt := New(Config{Workers: p, Seed: 501})
+		var got int64
+		rt.Run(func(c *Ctx) {
+			got = SumInt64(c, 0, 10_000, 16, func(_ *Ctx, i int) int64 { return int64(i) })
+		})
+		if got != 10_000*9_999/2 {
+			t.Fatalf("P=%d: sum = %d", p, got)
+		}
+	}
+}
+
+func TestSumEmptyRange(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 502})
+	rt.Run(func(c *Ctx) {
+		if got := SumInt64(c, 5, 5, 4, func(_ *Ctx, i int) int64 { return 1 }); got != 0 {
+			t.Errorf("empty sum = %d", got)
+		}
+	})
+}
+
+func TestMaxInt64(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 503})
+	xs := []int64{3, 9, 1, 7, 9, 2, 8}
+	var got int64
+	rt.Run(func(c *Ctx) {
+		got = MaxInt64(c, 0, len(xs), 2, -1<<62, func(_ *Ctx, i int) int64 { return xs[i] })
+	})
+	if got != 9 {
+		t.Fatalf("max = %d", got)
+	}
+}
+
+func TestReduceCustomType(t *testing.T) {
+	// Merge-count reduction over a custom struct: counts evens and odds.
+	type counts struct{ even, odd int }
+	rt := New(Config{Workers: 4, Seed: 504})
+	var got counts
+	rt.Run(func(c *Ctx) {
+		got = Reduce(c, 0, 999, 8, counts{},
+			func(_ *Ctx, i int) counts {
+				if i%2 == 0 {
+					return counts{even: 1}
+				}
+				return counts{odd: 1}
+			},
+			func(a, b counts) counts { return counts{a.even + b.even, a.odd + b.odd} })
+	})
+	if got.even != 500 || got.odd != 499 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReduceNonCommutativeAssociative(t *testing.T) {
+	// String-like concatenation via int64 digit-append is associative but
+	// not commutative; the reduction must preserve index order.
+	rt := New(Config{Workers: 8, Seed: 505})
+	var got []int
+	rt.Run(func(c *Ctx) {
+		got = Reduce(c, 0, 200, 3, nil,
+			func(_ *Ctx, i int) []int { return []int{i} },
+			func(a, b []int) []int { return append(append([]int(nil), a...), b...) })
+	})
+	if len(got) != 200 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQuickReduceMatchesSequential(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 506})
+	f := func(xs []int32, grain8 uint8) bool {
+		grain := int(grain8%16) + 1
+		var want int64
+		for _, x := range xs {
+			want += int64(x)
+		}
+		var got int64
+		rt.Run(func(c *Ctx) {
+			got = SumInt64(c, 0, len(xs), grain, func(_ *Ctx, i int) int64 { return int64(xs[i]) })
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInsideBOP(t *testing.T) {
+	// Batched structures are the intended consumer: a BOP that reduces
+	// over its operations.
+	rt := New(Config{Workers: 4, Seed: 507})
+	ds := &reduceDS{}
+	rt.Run(func(c *Ctx) {
+		c.For(0, 300, 1, func(cc *Ctx, i int) {
+			cc.Batchify(&OpRecord{DS: ds, Val: int64(i)})
+		})
+	})
+	if ds.total != 300*299/2 {
+		t.Fatalf("total = %d", ds.total)
+	}
+}
+
+type reduceDS struct{ total int64 }
+
+func (d *reduceDS) RunBatch(ctx *Ctx, ops []*OpRecord) {
+	d.total += SumInt64(ctx, 0, len(ops), 2, func(_ *Ctx, i int) int64 { return ops[i].Val })
+}

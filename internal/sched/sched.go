@@ -1,0 +1,433 @@
+// Package sched implements a user-level fork-join work-stealing runtime
+// extended with the BATCHER scheduler of Agrawal et al. (SPAA 2014),
+// "Provably Good Scheduling for Parallel Programs that Use Data Structures
+// through Implicit Batching".
+//
+// The runtime owns P workers (goroutines). Each worker maintains two
+// Chase–Lev deques — a core deque for tasks of the enclosing program and a
+// batch deque for tasks of the currently executing batched data-structure
+// operation — plus a work-status flag and a dedicated slot in the global
+// size-P pending array, exactly as in Section 4 of the paper:
+//
+//   - A free worker executes nodes from whichever of its deques is
+//     nonempty; when both are empty it steals from a random victim under
+//     the alternating-steal policy (even attempts target core deques, odd
+//     attempts target batch deques).
+//   - When a worker executes a data-structure node (a call to Batchify),
+//     it publishes an operation record in pending[p], sets its status to
+//     pending, and becomes trapped: it re-enters the scheduler loop on its
+//     own stack and executes only batch work until its record's status
+//     becomes done. If no batch is executing, a trapped worker launches
+//     one by CASing the global batch flag and injecting the LaunchBatch
+//     task at the bottom of its batch deque.
+//   - LaunchBatch acknowledges pending records (pending→executing),
+//     compacts them into the working set, calls the data structure's
+//     batched operation (BOP), marks participants done, and resets the
+//     flag. At most one batch is active at a time (Invariant 1) and a
+//     batch contains at most P operations (Invariant 2), one per worker.
+//
+// Suspension at a data-structure node is implemented by nested scheduling
+// on the worker's own stack (the same mechanism Cilk uses for helper
+// locks): the blocked core task's frame simply stays on the stack while
+// the worker processes batch work, and control returns to it when the
+// status flips to done. This preserves the paper's semantics — the worker
+// that encounters a data-structure node is the worker that resumes it.
+package sched
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batcher/internal/deque"
+	"batcher/internal/rng"
+)
+
+// Kind classifies tasks per Invariant 3: core-dag nodes go on core deques,
+// batch-dag nodes on batch deques.
+type Kind uint8
+
+const (
+	// KindCore marks tasks belonging to the enclosing program's dag.
+	KindCore Kind = iota
+	// KindBatch marks tasks belonging to a batch dag (including the
+	// scheduler's own LaunchBatch setup/cleanup work).
+	KindBatch
+)
+
+// Status is a worker's work-status flag (Section 4).
+type Status int32
+
+const (
+	// StatusFree means the worker has no suspended data-structure node.
+	StatusFree Status = iota
+	// StatusPending means the worker's operation record is in the pending
+	// array, awaiting incorporation into a batch.
+	StatusPending
+	// StatusExecuting means the record is in the working set of the
+	// currently executing batch.
+	StatusExecuting
+	// StatusDone means the batch containing the record has completed but
+	// the worker has not yet resumed the suspended node.
+	StatusDone
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusFree:
+		return "free"
+	case StatusPending:
+		return "pending"
+	case StatusExecuting:
+		return "executing"
+	case StatusDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Task is a unit of schedulable work: a closure plus the join counter it
+// reports completion to and the deque kind it must be scheduled on.
+type Task struct {
+	fn   func(*Ctx)
+	join *join
+	kind Kind
+}
+
+// join is a fork-join completion counter. done may be non-nil for the
+// root task, where completion must wake the submitting goroutine.
+type join struct {
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+func (j *join) finish() {
+	if j == nil {
+		return
+	}
+	if j.pending.Add(-1) == 0 && j.done != nil {
+		close(j.done)
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is P, the number of scheduler workers. Defaults to
+	// GOMAXPROCS(0) if zero.
+	Workers int
+	// Seed seeds the per-worker victim-selection RNGs.
+	Seed uint64
+	// StealPolicy selects the steal policy for *free* workers; trapped
+	// workers always steal from batch deques, per the paper. The default
+	// is AlternatingSteal, the policy the analysis requires.
+	StealPolicy StealPolicy
+}
+
+// StealPolicy selects which deque a free worker targets on its k-th steal
+// attempt. Non-default policies exist only for the ablation experiments.
+type StealPolicy uint8
+
+const (
+	// AlternatingSteal is the paper's policy: even attempts steal from the
+	// victim's core deque, odd attempts from its batch deque.
+	AlternatingSteal StealPolicy = iota
+	// CoreOnlySteal always targets core deques (ablation; starves batches).
+	CoreOnlySteal
+	// BatchOnlySteal always targets batch deques (ablation; starves core).
+	BatchOnlySteal
+	// RandomDequeSteal picks core or batch uniformly at random.
+	RandomDequeSteal
+)
+
+// Runtime is a P-worker BATCHER scheduler instance. Create with New, then
+// call Run with a root function; Run may be called repeatedly (serially).
+type Runtime struct {
+	cfg     Config
+	workers []*worker
+
+	// batchFlag is the global batch-status flag: 1 while a batch is
+	// executing (between a successful launch CAS and LaunchBatch's final
+	// reset), 0 otherwise.
+	batchFlag atomic.Int32
+
+	// pending is the size-P pending array; pending[i] is worker i's slot.
+	pending []atomic.Pointer[OpRecord]
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+
+	// running guards against overlapping Run calls.
+	running atomic.Bool
+
+	// batchesActive counts currently executing batches; it exists only to
+	// check Invariant 1 in tests and is maintained unconditionally
+	// because it is two atomic adds per batch.
+	batchesActive atomic.Int32
+
+	// aborting is set when a task panicked; workers unwind instead of
+	// waiting on joins that can no longer complete, and Run re-panics
+	// with the first cause. The runtime is unusable afterwards.
+	aborting atomic.Bool
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+
+	metrics Metrics
+}
+
+// abortSignal is the sentinel panic value used to unwind worker stacks
+// once a real panic has been recorded.
+type abortSignal struct{}
+
+// recordPanic stores the first non-sentinel panic value and flips the
+// runtime into the aborting state.
+func (rt *Runtime) recordPanic(v any) {
+	rt.panicMu.Lock()
+	if !rt.panicked {
+		rt.panicked = true
+		rt.panicVal = v
+	}
+	rt.panicMu.Unlock()
+	rt.aborting.Store(true)
+}
+
+// checkAbort unwinds the calling worker's stack if the runtime is
+// aborting. It must only be called from scheduler wait loops (never with
+// external locks held).
+func (rt *Runtime) checkAbort() {
+	if rt.aborting.Load() {
+		panic(abortSignal{})
+	}
+}
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = goruntime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		pending: make([]atomic.Pointer[OpRecord], cfg.Workers),
+	}
+	rt.workers = make([]*worker, cfg.Workers)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	for i := range rt.workers {
+		rt.workers[i] = &worker{
+			id:    i,
+			rt:    rt,
+			core:  deque.New[Task](),
+			batch: deque.New[Task](),
+			rng:   rng.New(seed + uint64(i)*0x2545f4914f6cdd1d),
+		}
+	}
+	return rt
+}
+
+// Workers returns P, the number of workers.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Run executes root to completion on the runtime's workers and returns.
+// root runs as a core-dag task. Run must not be called concurrently with
+// itself on the same Runtime.
+func (rt *Runtime) Run(root func(*Ctx)) {
+	if !rt.running.CompareAndSwap(false, true) {
+		panic("sched: concurrent Run calls on the same Runtime")
+	}
+	defer rt.running.Store(false)
+
+	rt.stop.Store(false)
+	j := &join{done: make(chan struct{})}
+	j.pending.Store(1)
+	rt.workers[0].core.PushBottom(&Task{fn: root, join: j, kind: KindCore})
+
+	rt.wg.Add(len(rt.workers))
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	<-j.done
+	rt.stop.Store(true)
+	rt.wg.Wait()
+
+	if rt.aborting.Load() {
+		// A task panicked: every worker has unwound; surface the first
+		// cause to the caller. The runtime must not be reused.
+		panic(rt.panicVal)
+	}
+
+	// Sanity: a completed run must leave no residue.
+	if rt.batchFlag.Load() != 0 {
+		panic("sched: batch flag set after Run completed")
+	}
+	for i := range rt.pending {
+		if rt.pending[i].Load() != nil {
+			panic("sched: pending record left after Run completed")
+		}
+	}
+}
+
+// worker is one of the P scheduler workers.
+type worker struct {
+	id    int
+	rt    *Runtime
+	core  *deque.Deque[Task]
+	batch *deque.Deque[Task]
+	rng   *rng.Rand
+
+	// status is the work-status flag, read by LaunchBatch on any worker.
+	status atomic.Int32
+
+	// stealK counts steal attempts for the alternating policy.
+	stealK uint64
+
+	// backoffFails counts consecutive failed steal attempts, to pace
+	// spinning (this host may have fewer CPUs than workers).
+	backoffFails int
+
+	m WorkerMetrics
+}
+
+func (w *worker) dequeFor(k Kind) *deque.Deque[Task] {
+	if k == KindBatch {
+		return w.batch
+	}
+	return w.core
+}
+
+func (w *worker) isFree() bool { return Status(w.status.Load()) == StatusFree }
+
+// loop is the main scheduling loop for a (free) worker, per Figure 3.
+// Free workers execute any node; they prefer their own deques and steal
+// only when both are empty.
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	for !w.rt.stop.Load() && !w.rt.aborting.Load() {
+		if t := w.batch.PopBottom(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if t := w.core.PopBottom(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if !w.stealAndRun(false) {
+			w.backoff()
+		}
+	}
+}
+
+// testHookTaskRun, when non-nil, observes every task execution with the
+// running worker's status at entry. Tests use it to verify scheduling
+// invariants (e.g. trapped workers execute only batch work). It must be
+// set before any Run and never during one.
+var testHookTaskRun func(kind Kind, status Status)
+
+// runTask executes t and reports completion to its join. Panics from the
+// task body are recorded (first cause wins) and converted into the
+// runtime's aborting state so that every worker unwinds instead of
+// waiting on joins that will never complete; the join is finished either
+// way so waiters unblock.
+func (w *worker) runTask(t *Task) {
+	w.m.TasksRun++
+	if testHookTaskRun != nil {
+		testHookTaskRun(t.kind, Status(w.status.Load()))
+	}
+	defer t.join.finish()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); !isAbort {
+				w.rt.recordPanic(r)
+			}
+		}
+	}()
+	ctx := Ctx{w: w, kind: t.kind}
+	t.fn(&ctx)
+}
+
+// stealAndRun makes one steal attempt and runs the stolen task if any.
+// It returns true on a successful steal. The deque targeted follows the
+// paper's rules: trapped workers steal only from batch deques; free
+// workers follow the configured policy (alternating by default).
+// batchOnly additionally restricts the attempt to batch deques, used by
+// workers waiting at joins inside batch tasks (see helpWhileWaiting).
+func (w *worker) stealAndRun(batchOnly bool) bool {
+	t := w.stealOnce(batchOnly)
+	if t == nil {
+		return false
+	}
+	w.runTask(t)
+	return true
+}
+
+func (w *worker) stealOnce(batchOnly bool) *Task {
+	rt := w.rt
+	if len(rt.workers) == 1 {
+		// No victims; count the attempt so metrics stay meaningful.
+		w.m.FailedSteals++
+		return nil
+	}
+	victim := rt.workers[w.rng.Intn(len(rt.workers))]
+	if victim == w {
+		victim = rt.workers[(victim.id+1)%len(rt.workers)]
+	}
+
+	var d *deque.Deque[Task]
+	trapped := !w.isFree()
+	if trapped || batchOnly {
+		d = victim.batch
+		if trapped {
+			w.m.TrappedStealAttempts++
+		} else {
+			w.m.FreeStealAttempts++
+		}
+	} else {
+		w.stealK++
+		switch rt.cfg.StealPolicy {
+		case CoreOnlySteal:
+			d = victim.core
+		case BatchOnlySteal:
+			d = victim.batch
+		case RandomDequeSteal:
+			if w.rng.Bool() {
+				d = victim.core
+			} else {
+				d = victim.batch
+			}
+		default: // AlternatingSteal
+			if w.stealK%2 == 0 {
+				d = victim.core
+			} else {
+				d = victim.batch
+			}
+		}
+		w.m.FreeStealAttempts++
+	}
+
+	t := d.Steal()
+	if t == nil {
+		w.m.FailedSteals++
+		return nil
+	}
+	w.m.SuccessfulSteals++
+	w.backoffFails = 0
+	return t
+}
+
+// backoff paces a worker that failed to find work. The runtime may have
+// more workers than physical CPUs (this repository's experiments run on a
+// single-CPU host), so failed thieves must yield aggressively or they
+// starve the workers holding actual work.
+func (w *worker) backoff() {
+	w.backoffFails++
+	switch {
+	case w.backoffFails < 4:
+		goruntime.Gosched()
+	case w.backoffFails < 64:
+		time.Sleep(time.Microsecond)
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,169 @@
+package sched
+
+// Server implements the extension sketched in the paper's conclusion
+// (Section 8): "a pthreaded program could run as normal, with
+// data-structure calls replaced by BATCHER calls, allowing work-stealing
+// to operate over the data structure batches while static pthreading
+// operates over the main program."
+//
+// Here the "pthreads" are ordinary goroutines outside the scheduler.
+// They publish operation records with Invoke, which blocks the calling
+// goroutine (parking it on a channel, not spinning) until some batch has
+// performed the operation. The scheduler's P workers do nothing but
+// execute batches: a dispatcher task claims pending records — at most
+// BatchCap per batch, one batch at a time — and runs each structure's
+// RunBatch as a parallel computation that all workers help with via work
+// stealing. Invariants 1 and 2 carry over verbatim.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Workers is P, the scheduler workers executing batches.
+	Workers int
+	// Seed seeds victim selection.
+	Seed uint64
+	// BatchCap limits operations per batch; 0 means Workers, matching
+	// Invariant 2's size-P cap.
+	BatchCap int
+}
+
+// Server is a standalone implicit-batching service for code that is not
+// written against the fork-join runtime. Create with NewServer, submit
+// with Invoke from any goroutine, and Close when done.
+type Server struct {
+	rt  *Runtime
+	cap int
+
+	mu      sync.Mutex
+	pending []*serverOp
+
+	// wake nudges the dispatcher when work arrives, so an idle server
+	// serves the first operation with channel latency rather than
+	// polling latency.
+	wake chan struct{}
+
+	stop atomic.Bool
+	done chan struct{}
+}
+
+type serverOp struct {
+	op   *OpRecord
+	done chan struct{}
+}
+
+// NewServer starts a batching server. The returned server is live:
+// Invoke may be called immediately.
+func NewServer(cfg ServerConfig) *Server {
+	rt := New(Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	capN := cfg.BatchCap
+	if capN <= 0 {
+		capN = rt.Workers()
+	}
+	s := &Server{rt: rt, cap: capN, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go s.serve()
+	return s
+}
+
+// Invoke performs op through implicit batching, blocking the calling
+// goroutine (without occupying a scheduler worker) until the operation
+// has executed as part of a batch. Safe for concurrent use by any number
+// of goroutines.
+func (s *Server) Invoke(op *OpRecord) {
+	if op.DS == nil {
+		panic("sched: Invoke with nil OpRecord.DS")
+	}
+	if s.stop.Load() {
+		panic("sched: Invoke on closed Server")
+	}
+	so := &serverOp{op: op, done: make(chan struct{})}
+	s.mu.Lock()
+	s.pending = append(s.pending, so)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default: // a wakeup is already queued
+	}
+	<-so.done
+}
+
+// Close drains outstanding operations and shuts the server down. Invoke
+// must not be called concurrently with or after Close.
+func (s *Server) Close() {
+	s.stop.Store(true)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+}
+
+// serve runs the dispatcher inside a single scheduler Run: a core task
+// that repeatedly claims pending records and executes each claimed group
+// as a batch-dag computation. All P workers participate in each batch by
+// stealing its tasks.
+func (s *Server) serve() {
+	defer close(s.done)
+	s.rt.Run(func(c *Ctx) {
+		for {
+			batch := s.claim()
+			if len(batch) == 0 {
+				if s.stop.Load() {
+					// One final claim: Invoke calls that won the append
+					// before stop was set must still be served.
+					if batch = s.claim(); len(batch) == 0 {
+						return
+					}
+				} else {
+					// The dispatcher's worker blocks on the wake channel;
+					// a bounded timeout keeps it responsive to Close even
+					// if a wakeup was somehow consumed early.
+					select {
+					case <-s.wake:
+					case <-time.After(time.Millisecond):
+					}
+					continue
+				}
+			}
+			s.runBatch(c, batch)
+		}
+	})
+}
+
+// claim takes up to cap pending records, preserving arrival order.
+func (s *Server) claim() []*serverOp {
+	s.mu.Lock()
+	n := len(s.pending)
+	if n > s.cap {
+		n = s.cap
+	}
+	batch := s.pending[:n:n]
+	s.pending = s.pending[n:]
+	s.mu.Unlock()
+	return batch
+}
+
+// runBatch executes one batch: group by structure, run each group's BOP
+// (in parallel across groups, as in LaunchBatch), then wake the waiting
+// goroutines.
+func (s *Server) runBatch(c *Ctx, batch []*serverOp) {
+	ops := make([]*OpRecord, len(batch))
+	for i, so := range batch {
+		ops[i] = so.op
+	}
+	groups := groupByDS(ops)
+	runGroups(c, groups)
+	c.w.m.BatchesExecuted++
+	c.w.m.BatchedOps += int64(len(ops))
+	for _, so := range batch {
+		close(so.done)
+	}
+}
+
+// Metrics returns the underlying runtime's aggregated counters. Call
+// after Close.
+func (s *Server) Metrics() Metrics { return s.rt.Metrics() }

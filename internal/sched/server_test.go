@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// serverSumDS mirrors sumDS but counts max batch size for Invariant 2.
+type serverSumDS struct {
+	total    int64
+	maxBatch int
+	active   atomic.Int32
+	viol     atomic.Int32
+}
+
+func (s *serverSumDS) RunBatch(ctx *Ctx, ops []*OpRecord) {
+	if s.active.Add(1) != 1 {
+		s.viol.Add(1)
+	}
+	if len(ops) > s.maxBatch {
+		s.maxBatch = len(ops)
+	}
+	for _, op := range ops {
+		op.Res = s.total
+		s.total += op.Val
+		op.Ok = true
+	}
+	s.active.Add(-1)
+}
+
+func TestServerSingleClient(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2, Seed: 1})
+	ds := &serverSumDS{}
+	op := &OpRecord{DS: ds, Val: 7}
+	s.Invoke(op)
+	s.Close()
+	if !op.Ok || ds.total != 7 {
+		t.Fatalf("op.Ok=%v total=%d", op.Ok, ds.total)
+	}
+}
+
+func TestServerManyGoroutines(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 4, Seed: 2})
+	ds := &serverSumDS{}
+	const clients, per = 16, 200
+	var wg sync.WaitGroup
+	results := make([][]int64, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]int64, per)
+			for i := 0; i < per; i++ {
+				op := &OpRecord{DS: ds, Val: 1}
+				s.Invoke(op)
+				results[g][i] = op.Res
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	if ds.total != clients*per {
+		t.Fatalf("total = %d, want %d", ds.total, clients*per)
+	}
+	if ds.viol.Load() != 0 {
+		t.Fatal("Invariant 1 violated")
+	}
+	// Linearizable: each +1 saw a distinct prior total.
+	seen := make([]bool, clients*per)
+	for _, rs := range results {
+		for _, r := range rs {
+			if r < 0 || r >= clients*per || seen[r] {
+				t.Fatalf("non-unique pre-total %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestServerBatchCap(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 4, Seed: 3, BatchCap: 3})
+	ds := &serverSumDS{}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Invoke(&OpRecord{DS: ds, Val: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if ds.maxBatch > 3 {
+		t.Fatalf("batch of %d ops exceeded cap 3", ds.maxBatch)
+	}
+	if ds.total != 32*50 {
+		t.Fatalf("total = %d", ds.total)
+	}
+}
+
+func TestServerDefaultCapIsP(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2, Seed: 4})
+	ds := &serverSumDS{}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				s.Invoke(&OpRecord{DS: ds, Val: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if ds.maxBatch > 2 {
+		t.Fatalf("batch of %d ops exceeded P=2", ds.maxBatch)
+	}
+}
+
+func TestServerMultipleStructures(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 4, Seed: 5})
+	a, b := &serverSumDS{}, &serverSumDS{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ds := Batched(a)
+				if (g+i)%2 == 0 {
+					ds = b
+				}
+				s.Invoke(&OpRecord{DS: ds, Val: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	if a.total+b.total != 800 {
+		t.Fatalf("totals %d + %d", a.total, b.total)
+	}
+	if a.viol.Load() != 0 || b.viol.Load() != 0 {
+		t.Fatal("Invariant 1 violated")
+	}
+}
+
+func TestServerParallelBOP(t *testing.T) {
+	// A BOP that forks: all P workers should be able to help.
+	s := NewServer(ServerConfig{Workers: 4, Seed: 6})
+	ds := &forkyDS{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Invoke(&OpRecord{DS: ds, Val: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if ds.total.Load() != 400 {
+		t.Fatalf("total = %d", ds.total.Load())
+	}
+}
+
+func TestServerInvokeNilDSPanics(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 1, Seed: 7})
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Invoke(&OpRecord{})
+}
+
+func TestServerMetricsAfterClose(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2, Seed: 8})
+	ds := &serverSumDS{}
+	for i := 0; i < 10; i++ {
+		s.Invoke(&OpRecord{DS: ds, Val: 1})
+	}
+	s.Close()
+	m := s.Metrics()
+	if m.BatchedOps != 10 {
+		t.Fatalf("BatchedOps = %d", m.BatchedOps)
+	}
+	if m.BatchesExecuted == 0 {
+		t.Fatal("no batches recorded")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sim is a deterministic discrete-time simulator of the BATCHER
+// scheduler, executing the execution-dag model of Section 2 of the paper
+// under the per-worker state-transition rules of Section 4 (Figure 3) and
+// the LaunchBatch procedure of Figure 4.
+//
+// The physical host running this repository has a single CPU, so the
+// paper's multi-core scaling results (Figure 5) cannot be observed as
+// wall-clock speedup. The simulator reproduces them in the model the
+// paper's analysis is actually stated in: P simulated workers take one
+// action per unit timestep (execute one unit of an assigned node, or make
+// one steal attempt), steals pick uniformly random victims from a seeded
+// generator, trapped workers touch only batch deques, free workers follow
+// the alternating-steal policy, and batch launches inject a Θ(P)-work /
+// Θ(lg P)-span setup+cleanup dag around the data structure's BOP dag.
+// Makespan in timesteps then plays the role of running time, and
+// throughput = operations / makespan.
+//
+// One generalization of the unit-node dag: nodes carry an integer Weight
+// and occupy their worker for Weight consecutive timesteps. A weight-w
+// node is exactly a chain of w unit nodes that never migrates — a
+// conservative encoding that keeps million-node experiments affordable.
+package sim
+
+// NodeKind classifies simulator dag nodes.
+type NodeKind uint8
+
+const (
+	// KindCore is an ordinary node of the core dag.
+	KindCore NodeKind = iota
+	// KindDS is a data-structure node: executing it publishes an
+	// operation record and traps the worker (Section 3).
+	KindDS
+	// KindBatch is a node of a batch dag (BOP work).
+	KindBatch
+	// KindSetup is a node of the scheduler's batch setup/cleanup dag; it
+	// is accounted separately because the paper excludes scheduler
+	// overhead from the batch-dag metrics.
+	KindSetup
+)
+
+// Node is one dag node.
+type Node struct {
+	// Weight is the node's execution time in timesteps (>= 1).
+	Weight int32
+	// Kind classifies the node.
+	Kind NodeKind
+	// preds is the number of incoming edges not yet satisfied.
+	preds int32
+	// succs lists successor node ids within the same Graph.
+	succs []int32
+	// Op attaches the operation descriptor to KindDS nodes.
+	Op *Op
+}
+
+// Graph is a dag under construction or execution. The core program and
+// every batch get their own Graph.
+type Graph struct {
+	nodes []Node
+	// remaining counts unfinished nodes; the run ends when the core
+	// graph's count reaches zero.
+	remaining int
+}
+
+// NewGraph returns an empty graph with capacity hint n.
+func NewGraph(n int) *Graph {
+	return &Graph{nodes: make([]Node, 0, n)}
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode(weight int32, kind NodeKind) int32 {
+	if weight < 1 {
+		weight = 1
+	}
+	g.nodes = append(g.nodes, Node{Weight: weight, Kind: kind})
+	g.remaining++
+	return int32(len(g.nodes) - 1)
+}
+
+// AddDSNode appends a data-structure node carrying op.
+func (g *Graph) AddDSNode(op *Op) int32 {
+	id := g.AddNode(1, KindDS)
+	g.nodes[id].Op = op
+	return id
+}
+
+// AddEdge adds a dependency a -> b.
+func (g *Graph) AddEdge(a, b int32) {
+	g.nodes[a].succs = append(g.nodes[a].succs, b)
+	g.nodes[b].preds++
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Work returns the total weight of the graph (T1 in the dag model).
+func (g *Graph) Work() int64 {
+	var w int64
+	for i := range g.nodes {
+		w += int64(g.nodes[i].Weight)
+	}
+	return w
+}
+
+// Span returns the weighted longest path (T∞). It assumes the graph is
+// topologically ordered by construction (AddEdge(a,b) implies a < b),
+// which all builders in this package guarantee.
+func (g *Graph) Span() int64 {
+	if len(g.nodes) == 0 {
+		return 0
+	}
+	dist := make([]int64, len(g.nodes))
+	var best int64
+	for i := range g.nodes {
+		d := dist[i] + int64(g.nodes[i].Weight)
+		if d > best {
+			best = d
+		}
+		for _, s := range g.nodes[i].succs {
+			if d > dist[s] {
+				dist[s] = d
+			}
+		}
+	}
+	return best
+}
+
+// WorkSpanOf returns the total weight and the weighted longest path of
+// the graph counting only nodes of the given kind (other nodes
+// contribute edges but zero weight). The batch-span accounting uses it
+// to measure BOP dags while excluding the scheduler's setup/cleanup
+// overhead, matching the paper's batch-dag metrics.
+func (g *Graph) WorkSpanOf(kind NodeKind) (work, span int64) {
+	dist := make([]int64, len(g.nodes))
+	for i := range g.nodes {
+		var wt int64
+		if g.nodes[i].Kind == kind {
+			wt = int64(g.nodes[i].Weight)
+			work += wt
+		}
+		d := dist[i] + wt
+		if d > span {
+			span = d
+		}
+		for _, s := range g.nodes[i].succs {
+			if d > dist[s] {
+				dist[s] = d
+			}
+		}
+	}
+	return work, span
+}
+
+// roots returns the ids of nodes with no predecessors.
+func (g *Graph) roots() []int32 {
+	var rs []int32
+	for i := range g.nodes {
+		if g.nodes[i].preds == 0 {
+			rs = append(rs, int32(i))
+		}
+	}
+	return rs
+}
+
+// --- dag-shape builders ----------------------------------------------------
+
+// Chain appends a chain of total weight w (as a single weighted node) and
+// returns (entry, exit). Zero or negative w yields a single unit node.
+func (g *Graph) Chain(w int64, kind NodeKind) (entry, exit int32) {
+	// Split into int32-sized chunks; in practice one node.
+	const maxChunk = 1 << 30
+	first := int32(-1)
+	var prev int32
+	for w > 0 || first < 0 {
+		chunk := w
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		id := g.AddNode(int32(chunk), kind)
+		if first < 0 {
+			first = id
+		} else {
+			g.AddEdge(prev, id)
+		}
+		prev = id
+		w -= chunk
+	}
+	return first, prev
+}
+
+// ForkJoin appends a binary fork tree over n leaves of the given weight,
+// followed by a binary join tree, and returns (entry, exit). Fork and
+// join nodes have unit weight. This is the dag of a parallel_for with
+// binary forking: Θ(n·leafWeight) work, Θ(lg n + leafWeight) span.
+func (g *Graph) ForkJoin(n int, leafWeight int32, kind NodeKind) (entry, exit int32) {
+	return g.ForkJoinFunc(n, kind, func(int) int32 { return leafWeight })
+}
+
+// ForkJoinFunc is ForkJoin with per-leaf weights.
+func (g *Graph) ForkJoinFunc(n int, kind NodeKind, weight func(i int) int32) (entry, exit int32) {
+	if n <= 0 {
+		id := g.AddNode(1, kind)
+		return id, id
+	}
+	var build func(lo, hi int) (int32, int32)
+	build = func(lo, hi int) (int32, int32) {
+		if hi-lo == 1 {
+			id := g.AddNode(weight(lo), kind)
+			return id, id
+		}
+		mid := lo + (hi-lo)/2
+		fork := g.AddNode(1, kind)
+		le, lx := build(lo, mid)
+		re, rx := build(mid, hi)
+		join := g.AddNode(1, kind)
+		g.AddEdge(fork, le)
+		g.AddEdge(fork, re)
+		g.AddEdge(lx, join)
+		g.AddEdge(rx, join)
+		return fork, join
+	}
+	return build(0, n)
+}
+
+// ForkJoinDS appends a parallel loop whose leaves each run preWeight core
+// work, then a DS node for ops[i], then postWeight core work. It is the
+// canonical core program of Figure 1. Returns (entry, exit).
+func (g *Graph) ForkJoinDS(ops []*Op, preWeight, postWeight int32) (entry, exit int32) {
+	n := len(ops)
+	if n == 0 {
+		id := g.AddNode(1, KindCore)
+		return id, id
+	}
+	var build func(lo, hi int) (int32, int32)
+	build = func(lo, hi int) (int32, int32) {
+		if hi-lo == 1 {
+			pre := g.AddNode(preWeight, KindCore)
+			ds := g.AddDSNode(ops[lo])
+			post := g.AddNode(postWeight, KindCore)
+			g.AddEdge(pre, ds)
+			g.AddEdge(ds, post)
+			return pre, post
+		}
+		mid := lo + (hi-lo)/2
+		fork := g.AddNode(1, KindCore)
+		le, lx := build(lo, mid)
+		re, rx := build(mid, hi)
+		join := g.AddNode(1, KindCore)
+		g.AddEdge(fork, le)
+		g.AddEdge(fork, re)
+		g.AddEdge(lx, join)
+		g.AddEdge(rx, join)
+		return fork, join
+	}
+	return build(0, n)
+}
+
+// SerialDS appends a chain of DS nodes separated by gapWeight core work:
+// the m = n extreme where every operation depends on the previous one.
+func (g *Graph) SerialDS(ops []*Op, gapWeight int32) (entry, exit int32) {
+	if len(ops) == 0 {
+		id := g.AddNode(1, KindCore)
+		return id, id
+	}
+	var first, prev int32 = -1, -1
+	for _, op := range ops {
+		if first >= 0 {
+			// Keep node ids topologically ordered (Span relies on it):
+			// allocate the gap before the node it precedes.
+			gap := g.AddNode(gapWeight, KindCore)
+			g.AddEdge(prev, gap)
+			prev = gap
+		}
+		ds := g.AddDSNode(op)
+		if first < 0 {
+			first = ds
+		} else {
+			g.AddEdge(prev, ds)
+		}
+		prev = ds
+	}
+	return first, prev
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "testing"
+
+func TestChainWorkSpan(t *testing.T) {
+	g := NewGraph(4)
+	e, x := g.Chain(100, KindCore)
+	if e != x {
+		t.Fatalf("chain of 100 should be one weighted node")
+	}
+	if g.Work() != 100 || g.Span() != 100 {
+		t.Fatalf("work=%d span=%d", g.Work(), g.Span())
+	}
+}
+
+func TestChainZero(t *testing.T) {
+	g := NewGraph(1)
+	g.Chain(0, KindCore)
+	if g.Work() != 1 {
+		t.Fatalf("work=%d", g.Work())
+	}
+}
+
+func TestChainHuge(t *testing.T) {
+	g := NewGraph(4)
+	const w = int64(3) << 30 // needs multiple int32 chunks
+	g.Chain(w, KindCore)
+	if g.Work() != w || g.Span() != w {
+		t.Fatalf("work=%d span=%d want %d", g.Work(), g.Span(), w)
+	}
+	if g.Len() < 3 {
+		t.Fatalf("len=%d, expected chunking", g.Len())
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := NewGraph(64)
+	e, x := g.ForkJoin(8, 5, KindBatch)
+	// 8 leaves*5 + 7 forks + 7 joins = 54 work.
+	if g.Work() != 8*5+14 {
+		t.Fatalf("work=%d", g.Work())
+	}
+	// span = 3 forks + leaf(5) + 3 joins = 11.
+	if g.Span() != 11 {
+		t.Fatalf("span=%d", g.Span())
+	}
+	if len(g.roots()) != 1 || g.roots()[0] != e {
+		t.Fatalf("roots=%v", g.roots())
+	}
+	if g.nodes[x].succs != nil {
+		t.Fatal("exit has successors")
+	}
+}
+
+func TestForkJoinSingleLeaf(t *testing.T) {
+	g := NewGraph(2)
+	e, x := g.ForkJoin(1, 7, KindCore)
+	if e != x || g.Work() != 7 {
+		t.Fatalf("e=%d x=%d work=%d", e, x, g.Work())
+	}
+}
+
+func TestForkJoinZeroLeaves(t *testing.T) {
+	g := NewGraph(2)
+	e, x := g.ForkJoin(0, 7, KindCore)
+	if e != x || g.Work() != 1 {
+		t.Fatalf("work=%d", g.Work())
+	}
+}
+
+func TestForkJoinSpanLogarithmic(t *testing.T) {
+	g := NewGraph(1 << 12)
+	g.ForkJoin(1024, 1, KindCore)
+	// 10 fork levels + leaf + 10 join levels = 21.
+	if got := g.Span(); got != 21 {
+		t.Fatalf("span=%d want 21", got)
+	}
+}
+
+func TestForkJoinDSCounts(t *testing.T) {
+	ops := make([]*Op, 16)
+	for i := range ops {
+		ops[i] = &Op{}
+	}
+	g := NewGraph(128)
+	g.ForkJoinDS(ops, 2, 3)
+	ds := 0
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindDS {
+			ds++
+		}
+	}
+	if ds != 16 {
+		t.Fatalf("ds nodes = %d", ds)
+	}
+	// Work: 16*(2+1+3) leaves + 15 forks + 15 joins = 126.
+	if g.Work() != 16*6+30 {
+		t.Fatalf("work=%d", g.Work())
+	}
+}
+
+func TestSerialDS(t *testing.T) {
+	ops := []*Op{{}, {}, {}}
+	g := NewGraph(8)
+	e, x := g.SerialDS(ops, 4)
+	if g.nodes[e].Kind != KindDS || g.nodes[x].Kind != KindDS {
+		t.Fatal("entry/exit not DS nodes")
+	}
+	// 3 DS (weight 1) + 2 gaps (weight 4) = 11; span likewise 11.
+	if g.Work() != 11 || g.Span() != 11 {
+		t.Fatalf("work=%d span=%d", g.Work(), g.Span())
+	}
+}
+
+func TestSpanOfDiamond(t *testing.T) {
+	g := NewGraph(4)
+	a := g.AddNode(1, KindCore)
+	b := g.AddNode(10, KindCore)
+	c := g.AddNode(2, KindCore)
+	d := g.AddNode(1, KindCore)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	if g.Span() != 12 {
+		t.Fatalf("span=%d want 12", g.Span())
+	}
+	if g.Work() != 14 {
+		t.Fatalf("work=%d", g.Work())
+	}
+}

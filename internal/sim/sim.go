@@ -1,0 +1,681 @@
+package sim
+
+import (
+	"fmt"
+
+	"batcher/internal/rng"
+)
+
+// Op is an abstract data-structure operation in the simulated model. The
+// cost model (BatchModel) decides what dag a batch of Ops induces.
+type Op struct {
+	// Records is the number of data-structure records the operation
+	// carries; the paper's Section 7 experiment uses 100 insertion
+	// records per BATCHIFY call. Zero means 1.
+	Records int
+	// Cost lets a model scale per-record work (e.g. lg(list size)); its
+	// meaning is model-specific. Zero means the model's default.
+	Cost int32
+	// Tag carries a model-specific operation kind (e.g. push vs pop for
+	// the stack model).
+	Tag int32
+
+	// worker is the trapped worker while the op is pending/executing.
+	worker int32
+	// batchesWaited counts batches that completed between this op's
+	// publication and its completion (Lemma 2 says <= 2 when the batch
+	// cap is at least P).
+	batchesWaited int32
+}
+
+// RecordCount returns Records, defaulting to 1.
+func (o *Op) RecordCount() int {
+	if o.Records <= 0 {
+		return 1
+	}
+	return o.Records
+}
+
+// DirectModel models a *concurrent* (unbatched) data structure for the
+// comparison runs of the paper's introduction: each operation executes
+// inline on its worker — no trapping, no batches — with a cost that may
+// grow with the number of simultaneously active operations (contention).
+// The paper's examples: a fetch-and-add counter serializes, so an
+// operation contending with k others pays Θ(k); a lock-free B+-tree in
+// which P processes CAS the same node has Ω(P) worst-case latency.
+type DirectModel interface {
+	// OpCost prices one operation given that active operations
+	// (including this one) are concurrently inside the structure.
+	OpCost(op *Op, active int) int64
+}
+
+// BatchModel is the simulated analogue of a batched data structure: it
+// emits the BOP dag for a batch of operations and prices the sequential
+// baseline. Implementations live in internal/simds.
+type BatchModel interface {
+	// BuildBOP appends the batch dag for ops to g (all nodes KindBatch)
+	// and returns its entry and exit node ids. It may mutate internal
+	// model state (e.g. the structure's size).
+	BuildBOP(g *Graph, ops []*Op) (entry, exit int32)
+	// SeqCost returns the cost of performing op alone on the sequential
+	// baseline structure, *and advances the model state* just as
+	// BuildBOP would. Use separate model instances for separate runs.
+	SeqCost(op *Op) int64
+}
+
+// StealPolicy selects the deque a free worker's k-th steal attempt
+// targets (trapped workers always steal from batch deques).
+type StealPolicy uint8
+
+const (
+	// PolicyAlternating is the paper's policy.
+	PolicyAlternating StealPolicy = iota
+	// PolicyCoreOnly always targets core deques (ablation).
+	PolicyCoreOnly
+	// PolicyBatchOnly always targets batch deques (ablation).
+	PolicyBatchOnly
+	// PolicyRandom picks a deque uniformly at random (ablation).
+	PolicyRandom
+)
+
+// Config configures a simulation.
+type Config struct {
+	// Workers is P (>= 1).
+	Workers int
+	// Seed drives victim selection.
+	Seed uint64
+	// Policy is the free-worker steal policy.
+	Policy StealPolicy
+	// BatchCap limits operations per batch; 0 means P (Invariant 2).
+	// Values below P are ablations that void the Lemma 2 guarantee.
+	BatchCap int
+	// LaunchThreshold is the minimum number of pending operations
+	// required before a trapped worker may launch (default 1 =
+	// immediate launch, the paper's choice; larger values are the
+	// "wait to accrue a batch" ablation).
+	LaunchThreshold int
+	// SeqBatches makes every batch execute sequentially (the setup scan
+	// and the BOP become chains): the flat-combining mode.
+	SeqBatches bool
+	// MaxSteps aborts a runaway simulation; 0 means a generous default.
+	MaxSteps int64
+	// TraceCols enables per-worker activity tracing rendered to roughly
+	// this many columns (see Result.Trace). 0 disables tracing.
+	TraceCols int
+	// Direct, when non-nil, replaces implicit batching entirely: data-
+	// structure nodes execute inline with contention-dependent cost (the
+	// "conventional concurrent data structure" comparison). The
+	// BatchModel passed to NewSim is ignored in this mode.
+	Direct DirectModel
+	// RecordBatchSpans collects each batch's BOP work and span into
+	// Result.BatchSpans (Theorem 3's τ-trimmed span is computed from
+	// them).
+	RecordBatchSpans bool
+}
+
+// Result reports a simulation's measurements.
+type Result struct {
+	// Makespan is the completion time in timesteps.
+	Makespan int64
+	// Batches is the number of batches executed; BatchedOps the total
+	// operations they carried; BatchedRecords the total records.
+	Batches        int64
+	BatchedOps     int64
+	BatchedRecords int64
+	// MaxBatchOps is the largest batch (operations), for Invariant 2.
+	MaxBatchOps int
+	// MeanBatchOps is BatchedOps / Batches.
+	MeanBatchOps float64
+	// Steal-attempt counters, split as in the Section 5 analysis.
+	FreeSteals    int64
+	TrappedSteals int64
+	SuccSteals    int64
+	FailedSteals  int64
+	// Executed work by category (timesteps).
+	CoreWork  int64
+	BatchWork int64
+	SetupWork int64
+	// IdleSteps counts worker-steps spent on failed steals and launch
+	// bookkeeping (total worker-steps = Makespan * P).
+	IdleSteps int64
+	// MaxBatchesWaited is the most batches any single operation waited
+	// through (Lemma 2: <= 2 with BatchCap >= P).
+	MaxBatchesWaited int32
+	// Launches counts launch actions (== Batches; kept separate as a
+	// consistency check).
+	Launches int64
+	// Trace holds one activity row per worker when Config.TraceCols > 0:
+	// C core, D op publication, B batch work, s setup/cleanup, / steal,
+	// L launch, r resume, . idle.
+	Trace []string
+	// BatchSpans holds each executed batch's BOP-dag span and work (in
+	// execution order) when Config.RecordBatchSpans is set; the
+	// Theorem 3 validation computes τ-trimmed spans from it.
+	BatchSpans []BatchShape
+}
+
+// BatchShape describes one batch's BOP dag.
+type BatchShape struct {
+	// Ops and Records are the batch's operation and record counts.
+	Ops, Records int
+	// Work and Span are the BOP dag's totals (setup/cleanup excluded,
+	// exactly as the paper's batch-dag metrics exclude scheduler
+	// overhead).
+	Work, Span int64
+}
+
+// Throughput returns records per timestep given the total record count.
+func (r Result) Throughput(records int64) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(records) / float64(r.Makespan)
+}
+
+type ref struct {
+	g  *Graph
+	id int32
+}
+
+// dq is a simulated deque: steal at head, push/pop at tail.
+type dq struct {
+	items []ref
+	head  int
+}
+
+func (d *dq) empty() bool { return d.head >= len(d.items) }
+func (d *dq) push(r ref)  { d.items = append(d.items, r) }
+func (d *dq) pop() (ref, bool) {
+	if d.empty() {
+		return ref{}, false
+	}
+	r := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	if d.empty() {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return r, true
+}
+func (d *dq) steal() (ref, bool) {
+	if d.empty() {
+		return ref{}, false
+	}
+	r := d.items[d.head]
+	d.head++
+	if d.empty() {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return r, true
+}
+
+type workerStatus uint8
+
+const (
+	wsFree workerStatus = iota
+	wsPending
+	wsExecuting
+	wsDone
+)
+
+type simWorker struct {
+	id      int32
+	core    dq
+	batch   dq
+	cur     ref
+	curLeft int32
+	status  workerStatus
+	susp    ref // suspended DS node while trapped
+	op      *Op
+	stealK  uint64
+	// trapFails counts failed steal attempts since the worker trapped;
+	// it drives the launch-threshold ablation's timeout fallback.
+	trapFails int
+	rng       *rng.Rand
+}
+
+// Sim is one simulation instance. Create with NewSim, then call Run once.
+type Sim struct {
+	cfg     Config
+	model   BatchModel
+	workers []*simWorker
+
+	batchFlag   bool
+	activeBatch *batchRun
+	pendingOps  []*Op
+	// directActive counts operations currently inside the structure in
+	// Direct (concurrent, unbatched) mode.
+	directActive int
+
+	traces []*traceBuf
+
+	res  Result
+	used bool
+}
+
+// batchRun tracks the currently executing batch.
+type batchRun struct {
+	g       *Graph
+	claimed []*Op
+}
+
+// NewSim creates a simulator over the given batched-structure model.
+func NewSim(cfg Config, model BatchModel) *Sim {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchCap <= 0 {
+		cfg.BatchCap = cfg.Workers
+	}
+	if cfg.LaunchThreshold < 1 {
+		cfg.LaunchThreshold = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1 << 40
+	}
+	s := &Sim{cfg: cfg, model: model, pendingOps: make([]*Op, cfg.Workers)}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers = append(s.workers, &simWorker{
+			id:  int32(i),
+			rng: rng.New(seed + uint64(i)*0x9e3779b97f4a7c15),
+		})
+	}
+	if cfg.TraceCols > 0 {
+		s.traces = make([]*traceBuf, cfg.Workers)
+		for i := range s.traces {
+			s.traces[i] = newTraceBuf(cfg.TraceCols)
+		}
+	}
+	return s
+}
+
+// Run executes the core graph to completion and returns measurements.
+// The graph must have exactly one root. A Sim instance runs once.
+func (s *Sim) Run(core *Graph) Result {
+	if s.used {
+		panic("sim: Sim instance reused")
+	}
+	s.used = true
+	roots := core.roots()
+	if len(roots) != 1 {
+		panic(fmt.Sprintf("sim: core graph has %d roots, want 1", len(roots)))
+	}
+	s.workers[0].core.push(ref{core, roots[0]})
+
+	var t int64
+	for core.remaining > 0 {
+		if t >= s.cfg.MaxSteps {
+			panic("sim: exceeded MaxSteps; livelock or runaway workload")
+		}
+		for _, w := range s.workers {
+			s.step(w)
+		}
+		t++
+	}
+	s.res.Makespan = t
+	if s.res.Batches > 0 {
+		s.res.MeanBatchOps = float64(s.res.BatchedOps) / float64(s.res.Batches)
+	}
+	if s.traces != nil {
+		for _, tb := range s.traces {
+			s.res.Trace = append(s.res.Trace, tb.render())
+		}
+	}
+	return s.res
+}
+
+// step advances worker w by one timestep.
+func (s *Sim) step(w *simWorker) {
+	// Acquire a node if we have none (free: pops from own deques cost
+	// nothing, as in ABP's accounting where only steals are wasted work).
+	if w.curLeft == 0 {
+		if !s.acquire(w) {
+			return // the acquisition action consumed the step
+		}
+	}
+	if w.curLeft == 0 {
+		return // nothing to run: the failed acquisition was the step
+	}
+	// Execute one unit of the assigned node.
+	node := &w.cur.g.nodes[w.cur.id]
+	switch node.Kind {
+	case KindCore, KindDS:
+		s.res.CoreWork++
+		s.recordActivity(w, actCore)
+	case KindBatch:
+		s.res.BatchWork++
+		s.recordActivity(w, actBatch)
+	case KindSetup:
+		s.res.SetupWork++
+		s.recordActivity(w, actSetup)
+	}
+	w.curLeft--
+	if w.curLeft == 0 {
+		s.finish(w)
+	}
+}
+
+// acquire tries to give w an assigned node. It returns false if the
+// worker performed a step-consuming scheduler action (steal attempt,
+// batch launch, resume) instead.
+func (s *Sim) acquire(w *simWorker) bool {
+	trapped := w.status != wsFree
+	if trapped {
+		if r, ok := w.batch.pop(); ok {
+			s.assign(w, r)
+			return true
+		}
+		if w.status == wsDone {
+			// Resume the suspended data-structure node: the worker is
+			// free again and u's successors become ready.
+			w.status = wsFree
+			s.complete(w, w.susp)
+			w.susp = ref{}
+			w.op = nil
+			s.recordActivity(w, actResume)
+			return false // the resume transition consumes the step
+		}
+		if !s.batchFlag && s.mayLaunch(w) {
+			s.launchBatch(w)
+			s.recordActivity(w, actLaunch)
+			return false
+		}
+		s.stealAttempt(w, true)
+		return false
+	}
+	// Free worker: own deques first (batch preferred; Invariant 4 says at
+	// most one is nonempty anyway).
+	if r, ok := w.batch.pop(); ok {
+		s.assign(w, r)
+		return true
+	}
+	if r, ok := w.core.pop(); ok {
+		s.assign(w, r)
+		return true
+	}
+	s.stealAttempt(w, false)
+	return false
+}
+
+// assign makes r the worker's current node, handling DS nodes (which trap
+// the worker instead of executing).
+func (s *Sim) assign(w *simWorker, r ref) {
+	node := &r.g.nodes[r.id]
+	if node.Kind == KindDS {
+		op := node.Op
+		if op == nil {
+			panic("sim: DS node without Op")
+		}
+		if s.cfg.Direct != nil {
+			// Concurrent-structure mode: the operation executes inline,
+			// occupying this worker for a contention-dependent time, and
+			// the node completes normally.
+			s.directActive++
+			cost := s.cfg.Direct.OpCost(op, s.directActive)
+			if cost < 1 {
+				cost = 1
+			}
+			w.cur = r
+			w.curLeft = int32(cost)
+			return
+		}
+		// Implicit batching: executing the data-structure node =
+		// publishing the operation record; the node then blocks until a
+		// batch completes it. The publication costs one timestep.
+		op.worker = w.id
+		op.batchesWaited = 0
+		s.pendingOps[w.id] = op
+		w.status = wsPending
+		w.trapFails = 0
+		w.susp = r
+		w.op = op
+		w.cur = r
+		w.curLeft = 1
+		// Consume its single unit now: count as core work and leave the
+		// node uncompleted (finish() skips DS completion).
+		s.res.CoreWork++
+		s.recordActivity(w, actDS)
+		w.curLeft = 0
+		return
+	}
+	w.cur = r
+	w.curLeft = node.Weight
+}
+
+// finish completes the worker's current node.
+func (s *Sim) finish(w *simWorker) {
+	s.complete(w, w.cur)
+	w.cur = ref{}
+}
+
+// complete marks a node finished, enabling successors onto w's deques.
+func (s *Sim) complete(w *simWorker, r ref) {
+	g := r.g
+	node := &g.nodes[r.id]
+	if node.Kind == KindDS && s.cfg.Direct != nil {
+		s.directActive--
+	}
+	for _, succ := range node.succs {
+		g.nodes[succ].preds--
+		if g.nodes[succ].preds == 0 {
+			s.route(w, ref{g, succ})
+		}
+	}
+	g.remaining--
+	if s.activeBatch != nil && g == s.activeBatch.g && g.remaining == 0 {
+		s.completeBatch()
+	}
+}
+
+// route places a newly ready node on the correct deque of w
+// (Invariant 3: batch-dag nodes on batch deques, core-dag nodes on core
+// deques).
+func (s *Sim) route(w *simWorker, r ref) {
+	if s.activeBatch != nil && r.g == s.activeBatch.g {
+		w.batch.push(r)
+	} else {
+		w.core.push(r)
+	}
+}
+
+// mayLaunch decides whether a trapped worker may launch a batch. With
+// the paper's immediate-launch rule (threshold 1) it is simply "a record
+// is pending" — always true for a trapped worker. The accrual ablation
+// (threshold > 1) waits for that many pending records but falls back to
+// launching after 8P fruitless steal attempts, mirroring the timeouts
+// real accrual-based combiners need to avoid stranding stragglers.
+func (s *Sim) mayLaunch(w *simWorker) bool {
+	if s.cfg.LaunchThreshold <= 1 {
+		return true
+	}
+	if s.pendingCount() >= s.cfg.LaunchThreshold {
+		return true
+	}
+	return w.trapFails >= 8*len(s.workers)
+}
+
+func (s *Sim) pendingCount() int {
+	n := 0
+	for _, op := range s.pendingOps {
+		if op != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// launchBatch is Figure 4: claim pending records, build the batch dag
+// (setup + BOP + cleanup), and inject its root on w's batch deque.
+func (s *Sim) launchBatch(w *simWorker) {
+	if s.batchFlag || s.activeBatch != nil {
+		panic("sim: Invariant 1 violated: launch during active batch")
+	}
+	s.batchFlag = true
+	s.res.Launches++
+
+	claimed := make([]*Op, 0, s.cfg.BatchCap)
+	for i := range s.pendingOps {
+		if len(claimed) == s.cfg.BatchCap {
+			break
+		}
+		if op := s.pendingOps[i]; op != nil {
+			claimed = append(claimed, op)
+			s.pendingOps[i] = nil
+			s.workers[i].status = wsExecuting
+		}
+	}
+	if len(claimed) == 0 {
+		panic("sim: launch with no pending operations")
+	}
+	if len(claimed) > s.cfg.Workers {
+		panic("sim: Invariant 2 violated: batch larger than P")
+	}
+
+	records := int64(0)
+	for _, op := range claimed {
+		records += int64(op.RecordCount())
+	}
+	s.res.Batches++
+	s.res.BatchedOps += int64(len(claimed))
+	s.res.BatchedRecords += records
+	if len(claimed) > s.res.MaxBatchOps {
+		s.res.MaxBatchOps = len(claimed)
+	}
+
+	g := NewGraph(64)
+	var setupEntry, setupExit, bopEntry, bopExit, cleanEntry, cleanExit int32
+	if s.cfg.SeqBatches {
+		// Flat combining: the combiner scans the P slots and applies
+		// every operation itself, strictly sequentially.
+		setupEntry, setupExit = g.Chain(int64(s.cfg.Workers), KindSetup)
+		var seqWork int64
+		for _, op := range claimed {
+			seqWork += s.model.SeqCost(op)
+		}
+		bopEntry, bopExit = g.Chain(seqWork, KindBatch)
+		cleanEntry, cleanExit = g.Chain(1, KindSetup)
+	} else {
+		// BATCHER: parallel status flips + compaction (Θ(P) work,
+		// Θ(lg P) span), the structure's parallel BOP, parallel cleanup.
+		setupEntry, setupExit = g.ForkJoin(s.cfg.Workers, 1, KindSetup)
+		bopEntry, bopExit = s.model.BuildBOP(g, claimed)
+		cleanEntry, cleanExit = g.ForkJoin(s.cfg.Workers, 1, KindSetup)
+	}
+	g.AddEdge(setupExit, bopEntry)
+	g.AddEdge(bopExit, cleanEntry)
+	_ = setupEntry
+	_ = cleanExit
+
+	if s.cfg.RecordBatchSpans {
+		work, span := g.WorkSpanOf(KindBatch)
+		s.res.BatchSpans = append(s.res.BatchSpans, BatchShape{
+			Ops: len(claimed), Records: int(records), Work: work, Span: span,
+		})
+	}
+
+	s.activeBatch = &batchRun{g: g, claimed: claimed}
+	w.batch.push(ref{g, setupEntry})
+}
+
+// completeBatch finishes the active batch: participants' statuses flip to
+// done, waiting (unclaimed) operations record one more batch waited, and
+// the batch flag resets.
+func (s *Sim) completeBatch() {
+	br := s.activeBatch
+	for _, op := range br.claimed {
+		op.batchesWaited++
+		if op.batchesWaited > s.res.MaxBatchesWaited {
+			s.res.MaxBatchesWaited = op.batchesWaited
+		}
+		s.workers[op.worker].status = wsDone
+	}
+	for _, op := range s.pendingOps {
+		if op != nil {
+			op.batchesWaited++
+			if op.batchesWaited > s.res.MaxBatchesWaited {
+				s.res.MaxBatchesWaited = op.batchesWaited
+			}
+		}
+	}
+	s.activeBatch = nil
+	s.batchFlag = false
+}
+
+// stealAttempt makes one steal attempt for w (batchOnly for trapped
+// workers), executing nothing this step but possibly loading w.cur for
+// the next step.
+func (s *Sim) stealAttempt(w *simWorker, batchOnly bool) {
+	s.res.IdleSteps++
+	if batchOnly {
+		s.res.TrappedSteals++
+	} else {
+		s.res.FreeSteals++
+	}
+	if len(s.workers) == 1 {
+		s.res.FailedSteals++
+		s.recordActivity(w, actIdle)
+		return
+	}
+	victim := s.workers[w.rng.Intn(len(s.workers))]
+	if victim == w {
+		victim = s.workers[(victim.id+1)%int32(len(s.workers))]
+	}
+	var d *dq
+	if batchOnly {
+		d = &victim.batch
+	} else {
+		w.stealK++
+		switch s.cfg.Policy {
+		case PolicyCoreOnly:
+			d = &victim.core
+		case PolicyBatchOnly:
+			d = &victim.batch
+		case PolicyRandom:
+			if w.rng.Bool() {
+				d = &victim.core
+			} else {
+				d = &victim.batch
+			}
+		default: // PolicyAlternating
+			if w.stealK%2 == 0 {
+				d = &victim.core
+			} else {
+				d = &victim.batch
+			}
+		}
+	}
+	r, ok := d.steal()
+	if !ok {
+		s.res.FailedSteals++
+		if batchOnly {
+			w.trapFails++
+		}
+		s.recordActivity(w, actIdle)
+		return
+	}
+	s.res.SuccSteals++
+	s.recordActivity(w, actSteal)
+	s.assign(w, r)
+}
+
+// SequentialTime prices the core graph on one processor with direct
+// (unbatched) data-structure access: the sum of all core weights plus the
+// model's sequential cost of every operation. It is the paper's SEQ
+// baseline.
+func SequentialTime(core *Graph, model BatchModel) int64 {
+	var total int64
+	for i := range core.nodes {
+		n := &core.nodes[i]
+		if n.Kind == KindDS {
+			total += model.SeqCost(n.Op)
+		} else {
+			total += int64(n.Weight)
+		}
+	}
+	return total
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// unitModel: every op's batch work is one unit node; sequential cost 1.
+type unitModel struct{}
+
+func (unitModel) BuildBOP(g *Graph, ops []*Op) (int32, int32) {
+	return g.ForkJoin(len(ops), 1, KindBatch)
+}
+func (unitModel) SeqCost(op *Op) int64 { return 1 }
+
+func newOps(n int) []*Op {
+	ops := make([]*Op, n)
+	for i := range ops {
+		ops[i] = &Op{}
+	}
+	return ops
+}
+
+func TestPureCoreDagOneWorker(t *testing.T) {
+	g := NewGraph(4)
+	g.Chain(100, KindCore)
+	res := NewSim(Config{Workers: 1, Seed: 1}, unitModel{}).Run(g)
+	if res.Makespan != 100 {
+		t.Fatalf("makespan=%d want 100", res.Makespan)
+	}
+	if res.CoreWork != 100 || res.Batches != 0 {
+		t.Fatalf("coreWork=%d batches=%d", res.CoreWork, res.Batches)
+	}
+}
+
+func TestPureCoreSpeedup(t *testing.T) {
+	mk := func() *Graph {
+		g := NewGraph(1 << 12)
+		g.ForkJoin(1024, 50, KindCore)
+		return g
+	}
+	t1 := NewSim(Config{Workers: 1, Seed: 2}, unitModel{}).Run(mk()).Makespan
+	t8 := NewSim(Config{Workers: 8, Seed: 2}, unitModel{}).Run(mk()).Makespan
+	if t1 < 1024*50 {
+		t.Fatalf("t1=%d below work", t1)
+	}
+	speedup := float64(t1) / float64(t8)
+	if speedup < 4 {
+		t.Fatalf("speedup %.2f too low for an embarrassingly parallel dag on 8 workers", speedup)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	g := NewGraph(1 << 10)
+	g.ForkJoin(256, 3, KindCore)
+	want := g.Work()
+	res := NewSim(Config{Workers: 4, Seed: 3}, unitModel{}).Run(g)
+	if res.CoreWork != want {
+		t.Fatalf("executed %d core work, graph has %d", res.CoreWork, want)
+	}
+	// Makespan * P >= total work.
+	if res.Makespan*4 < want {
+		t.Fatalf("makespan %d too small", res.Makespan)
+	}
+}
+
+func TestSingleDSOp(t *testing.T) {
+	g := NewGraph(8)
+	ops := newOps(1)
+	g.ForkJoinDS(ops, 1, 1)
+	res := NewSim(Config{Workers: 2, Seed: 4}, unitModel{}).Run(g)
+	if res.Batches != 1 {
+		t.Fatalf("batches=%d want 1", res.Batches)
+	}
+	if res.BatchedOps != 1 {
+		t.Fatalf("batchedOps=%d", res.BatchedOps)
+	}
+	if res.MaxBatchesWaited > 2 {
+		t.Fatalf("Lemma 2 violated: waited %d", res.MaxBatchesWaited)
+	}
+}
+
+func TestManyDSOpsAllComplete(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		g := NewGraph(1 << 12)
+		ops := newOps(500)
+		g.ForkJoinDS(ops, 2, 2)
+		res := NewSim(Config{Workers: p, Seed: 5}, unitModel{}).Run(g)
+		if res.BatchedOps != 500 {
+			t.Fatalf("P=%d: batchedOps=%d want 500", p, res.BatchedOps)
+		}
+		if res.MaxBatchOps > p {
+			t.Fatalf("P=%d: Invariant 2 violated: batch of %d", p, res.MaxBatchOps)
+		}
+		if res.MaxBatchesWaited > 2 {
+			t.Fatalf("P=%d: Lemma 2 violated: %d", p, res.MaxBatchesWaited)
+		}
+		if res.Launches != res.Batches {
+			t.Fatalf("P=%d: launches=%d batches=%d", p, res.Launches, res.Batches)
+		}
+	}
+}
+
+func TestBatchingAmortizes(t *testing.T) {
+	// With many parallel ops and P workers, mean batch size should
+	// substantially exceed 1 (the whole point of implicit batching).
+	g := NewGraph(1 << 13)
+	ops := newOps(2000)
+	g.ForkJoinDS(ops, 1, 1)
+	res := NewSim(Config{Workers: 8, Seed: 6}, unitModel{}).Run(g)
+	if res.MeanBatchOps < 2 {
+		t.Fatalf("mean batch size %.2f; batching is not amortizing", res.MeanBatchOps)
+	}
+}
+
+func TestSerialChainForcesSingletonBatches(t *testing.T) {
+	// m = n: every op depends on the previous, so every batch has size 1.
+	g := NewGraph(1 << 8)
+	ops := newOps(50)
+	g.SerialDS(ops, 1)
+	res := NewSim(Config{Workers: 8, Seed: 7}, unitModel{}).Run(g)
+	if res.Batches != 50 {
+		t.Fatalf("batches=%d want 50", res.Batches)
+	}
+	if res.MaxBatchOps != 1 {
+		t.Fatalf("maxBatch=%d want 1", res.MaxBatchOps)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() *Graph {
+		g := NewGraph(1 << 12)
+		g.ForkJoinDS(newOps(300), 2, 2)
+		return g
+	}
+	a := NewSim(Config{Workers: 4, Seed: 42}, unitModel{}).Run(mk())
+	b := NewSim(Config{Workers: 4, Seed: 42}, unitModel{}).Run(mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	c := NewSim(Config{Workers: 4, Seed: 43}, unitModel{}).Run(mk())
+	if a.Makespan == c.Makespan && a.FreeSteals == c.FreeSteals && a.Batches == c.Batches {
+		t.Log("different seed produced identical stats (possible but unlikely)")
+	}
+}
+
+func TestBatchCapAblation(t *testing.T) {
+	g := NewGraph(1 << 12)
+	ops := newOps(400)
+	g.ForkJoinDS(ops, 1, 1)
+	res := NewSim(Config{Workers: 8, Seed: 8, BatchCap: 2}, unitModel{}).Run(g)
+	if res.MaxBatchOps > 2 {
+		t.Fatalf("cap ignored: max batch %d", res.MaxBatchOps)
+	}
+	if res.BatchedOps != 400 {
+		t.Fatalf("batchedOps=%d", res.BatchedOps)
+	}
+}
+
+func TestLaunchThresholdAblation(t *testing.T) {
+	mk := func() *Graph {
+		g := NewGraph(1 << 12)
+		g.ForkJoinDS(newOps(400), 1, 1)
+		return g
+	}
+	imm := NewSim(Config{Workers: 8, Seed: 9, LaunchThreshold: 1}, unitModel{}).Run(mk())
+	acc := NewSim(Config{Workers: 8, Seed: 9, LaunchThreshold: 6}, unitModel{}).Run(mk())
+	if acc.BatchedOps != 400 || imm.BatchedOps != 400 {
+		t.Fatal("ops lost")
+	}
+	if acc.MeanBatchOps < imm.MeanBatchOps {
+		t.Fatalf("accrual should produce larger batches: %.2f vs %.2f",
+			acc.MeanBatchOps, imm.MeanBatchOps)
+	}
+}
+
+func TestSeqBatchesMode(t *testing.T) {
+	// Flat combining mode must still complete everything; its batch work
+	// executes as chains so BatchWork equals the sequential costs.
+	g := NewGraph(1 << 12)
+	ops := newOps(300)
+	g.ForkJoinDS(ops, 1, 1)
+	res := NewSim(Config{Workers: 8, Seed: 10, SeqBatches: true}, unitModel{}).Run(g)
+	if res.BatchedOps != 300 {
+		t.Fatalf("batchedOps=%d", res.BatchedOps)
+	}
+	if res.BatchWork != 300 {
+		t.Fatalf("batchWork=%d want 300 (1 per op sequentially)", res.BatchWork)
+	}
+}
+
+func TestSequentialTime(t *testing.T) {
+	g := NewGraph(1 << 8)
+	ops := newOps(10)
+	g.ForkJoinDS(ops, 2, 3)
+	// Core nodes: 10*(2+3) + 9 forks + 9 joins = 68; ops cost 1 each.
+	if got := SequentialTime(g, unitModel{}); got != 68+10 {
+		t.Fatalf("seq time=%d", got)
+	}
+}
+
+func TestThroughputHelper(t *testing.T) {
+	r := Result{Makespan: 200}
+	if got := r.Throughput(100); got != 0.5 {
+		t.Fatalf("throughput=%v", got)
+	}
+	var zero Result
+	if zero.Throughput(10) != 0 {
+		t.Fatal("zero makespan should yield 0")
+	}
+}
+
+func TestSimReusePanics(t *testing.T) {
+	g := NewGraph(2)
+	g.Chain(1, KindCore)
+	s := NewSim(Config{Workers: 1, Seed: 1}, unitModel{})
+	s.Run(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reuse did not panic")
+		}
+	}()
+	g2 := NewGraph(2)
+	g2.Chain(1, KindCore)
+	s.Run(g2)
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	// A graph whose DS op can never be batched... not constructible; use
+	// an absurdly low MaxSteps instead to exercise the guard.
+	g := NewGraph(4)
+	g.Chain(1000, KindCore)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxSteps guard did not fire")
+		}
+	}()
+	NewSim(Config{Workers: 1, Seed: 1, MaxSteps: 10}, unitModel{}).Run(g)
+}
+
+func TestIdlePlusBusyEqualsTotal(t *testing.T) {
+	g := NewGraph(1 << 12)
+	ops := newOps(300)
+	g.ForkJoinDS(ops, 2, 2)
+	p := 4
+	res := NewSim(Config{Workers: p, Seed: 11}, unitModel{}).Run(g)
+	busy := res.CoreWork + res.BatchWork + res.SetupWork
+	total := res.Makespan * int64(p)
+	// Every worker-step is either busy, a steal attempt / launch /
+	// resume (idle), or post-completion slack. Busy + idle <= total.
+	if busy+res.IdleSteps > total {
+		t.Fatalf("busy %d + idle %d > total %d", busy, res.IdleSteps, total)
+	}
+	if busy > total {
+		t.Fatalf("busy %d > total %d", busy, total)
+	}
+}
+
+// directModel charges each op its active count (serialization).
+type directModel struct{}
+
+func (directModel) OpCost(op *Op, active int) int64 {
+	return int64(op.RecordCount()) * int64(active)
+}
+
+func TestDirectModeNoBatches(t *testing.T) {
+	g := NewGraph(1 << 10)
+	ops := newOps(200)
+	for _, op := range ops {
+		op.Records = 8 // multi-step ops so that operations overlap
+	}
+	g.ForkJoinDS(ops, 1, 1)
+	res := NewSim(Config{Workers: 4, Seed: 30, Direct: directModel{}}, nil).Run(g)
+	if res.Batches != 0 || res.Launches != 0 {
+		t.Fatalf("direct mode launched %d batches", res.Batches)
+	}
+	if res.BatchWork != 0 || res.SetupWork != 0 {
+		t.Fatalf("direct mode did batch work: %d/%d", res.BatchWork, res.SetupWork)
+	}
+	// All DS work lands in CoreWork and exceeds the op count (contention).
+	if res.CoreWork <= int64(g.Work()) {
+		t.Fatalf("core work %d did not include contended op costs (graph work %d)", res.CoreWork, g.Work())
+	}
+}
+
+func TestDirectModeContentionScalesWithP(t *testing.T) {
+	mk := func() *Graph {
+		g := NewGraph(1 << 12)
+		ops := newOps(1000)
+		for _, op := range ops {
+			op.Records = 16
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		return g
+	}
+	t1 := NewSim(Config{Workers: 1, Seed: 31, Direct: directModel{}}, nil).Run(mk()).Makespan
+	t8 := NewSim(Config{Workers: 8, Seed: 31, Direct: directModel{}}, nil).Run(mk()).Makespan
+	// With serialization-shaped costs, 8 workers cannot get anywhere near
+	// 8x; the paper's Ω(n) argument caps useful speedup.
+	if sp := float64(t1) / float64(t8); sp > 3 {
+		t.Fatalf("contended speedup %.2f implausibly high", sp)
+	}
+	if t8 < 16_000 {
+		t.Fatalf("makespan %d below n", t8)
+	}
+}
+
+func TestDirectModeCompletesAllOps(t *testing.T) {
+	g := NewGraph(1 << 10)
+	ops := newOps(300)
+	g.ForkJoinDS(ops, 2, 2)
+	res := NewSim(Config{Workers: 8, Seed: 32, Direct: directModel{}}, nil).Run(g)
+	if res.Makespan == 0 {
+		t.Fatal("no progress")
+	}
+}

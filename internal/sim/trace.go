@@ -1,0 +1,58 @@
+package sim
+
+// Execution tracing: when Config.TraceCols > 0 the simulator samples each
+// worker's per-timestep activity into a bounded buffer (stride-doubling:
+// when the buffer fills, every other sample is dropped and the sampling
+// stride doubles), and Result.Trace renders one row per worker. The
+// timeline makes the scheduler's phases visible — core execution, batch
+// execution, setup overhead, trapped stealing — and is printed by
+// `batcherlab trace`.
+
+// Activity codes recorded per worker-step.
+const (
+	actIdle   = '.' // failed steal attempt or other non-work action
+	actCore   = 'C' // executing a core node
+	actDS     = 'D' // publishing a data-structure operation
+	actBatch  = 'B' // executing a batch (BOP) node
+	actSetup  = 's' // executing batch setup/cleanup overhead
+	actSteal  = '/' // successful steal
+	actLaunch = 'L' // launching a batch
+	actResume = 'r' // resuming a completed data-structure node
+)
+
+// traceBuf samples one worker's activity with bounded memory.
+type traceBuf struct {
+	stride  int64
+	seen    int64
+	samples []byte
+	max     int
+}
+
+func newTraceBuf(cols int) *traceBuf {
+	return &traceBuf{stride: 1, max: 2 * cols}
+}
+
+func (t *traceBuf) record(ch byte) {
+	if t.seen%t.stride == 0 {
+		t.samples = append(t.samples, ch)
+		if len(t.samples) >= t.max {
+			// Keep every other sample; double the stride.
+			half := t.samples[:0]
+			for i := 0; i < len(t.samples); i += 2 {
+				half = append(half, t.samples[i])
+			}
+			t.samples = half
+			t.stride *= 2
+		}
+	}
+	t.seen++
+}
+
+func (t *traceBuf) render() string { return string(t.samples) }
+
+// recordActivity logs ch for worker w if tracing is enabled.
+func (s *Sim) recordActivity(w *simWorker, ch byte) {
+	if s.traces != nil {
+		s.traces[w.id].record(ch)
+	}
+}

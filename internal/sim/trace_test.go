@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := NewGraph(8)
+	g.Chain(50, KindCore)
+	res := NewSim(Config{Workers: 2, Seed: 1}, unitModel{}).Run(g)
+	if res.Trace != nil {
+		t.Fatal("trace produced without TraceCols")
+	}
+}
+
+func TestTraceRowsPerWorker(t *testing.T) {
+	g := NewGraph(1 << 12)
+	ops := newOps(300)
+	g.ForkJoinDS(ops, 3, 3)
+	res := NewSim(Config{Workers: 4, Seed: 2, TraceCols: 80}, unitModel{}).Run(g)
+	if len(res.Trace) != 4 {
+		t.Fatalf("rows = %d", len(res.Trace))
+	}
+	for i, row := range res.Trace {
+		if len(row) == 0 || len(row) > 160 {
+			t.Fatalf("row %d length %d", i, len(row))
+		}
+		for _, ch := range row {
+			switch byte(ch) {
+			case actIdle, actCore, actDS, actBatch, actSetup, actSteal, actLaunch, actResume:
+			default:
+				t.Fatalf("row %d has unknown activity %q", i, ch)
+			}
+		}
+	}
+	joined := strings.Join(res.Trace, "")
+	for _, must := range []byte{actCore, actBatch, actSetup, actLaunch} {
+		if !strings.ContainsRune(joined, rune(must)) {
+			t.Fatalf("trace missing activity %q:\n%s", must, strings.Join(res.Trace, "\n"))
+		}
+	}
+}
+
+func TestTraceBufStrideDoubling(t *testing.T) {
+	tb := newTraceBuf(10) // max 20 samples
+	for i := 0; i < 1000; i++ {
+		tb.record('C')
+	}
+	if len(tb.samples) >= 20 {
+		t.Fatalf("buffer grew to %d", len(tb.samples))
+	}
+	if tb.stride < 32 {
+		t.Fatalf("stride = %d, expected doubling", tb.stride)
+	}
+	if got := tb.render(); !strings.Contains(got, "C") {
+		t.Fatalf("render = %q", got)
+	}
+}

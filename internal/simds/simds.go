@@ -1,0 +1,293 @@
+// Package simds provides the simulated cost models (sim.BatchModel
+// implementations) for the data structures the paper analyzes: the
+// prefix-sums counter, the Section 7 skip list, the batched 2-3 search
+// tree, and the amortized table-doubling stack. Each model emits the
+// batch dag whose work/span profile Section 3 derives, and prices the
+// corresponding sequential baseline so that SEQ-vs-BATCHER comparisons
+// use one consistent cost scale.
+package simds
+
+import (
+	"math/bits"
+
+	"batcher/internal/sim"
+)
+
+// lg returns ceil(log2(max(n,2))), the canonical "search cost" scale.
+func lg(n int64) int32 {
+	if n < 2 {
+		n = 2
+	}
+	return int32(bits.Len64(uint64(n - 1)))
+}
+
+func totalRecords(ops []*sim.Op) int {
+	x := 0
+	for _, op := range ops {
+		x += op.RecordCount()
+	}
+	return x
+}
+
+// Counter models the batched shared counter (Figure 2): a size-x batch
+// costs Θ(x) work and O(lg x) span, realized as an upsweep + downsweep
+// pair of fork-join trees (parallel prefix sums). The sequential
+// baseline costs 1 per increment.
+type Counter struct{}
+
+// BuildBOP implements sim.BatchModel.
+func (Counter) BuildBOP(g *sim.Graph, ops []*sim.Op) (int32, int32) {
+	x := totalRecords(ops)
+	upE, upX := g.ForkJoin(x, 1, sim.KindBatch)
+	downE, downX := g.ForkJoin(x, 1, sim.KindBatch)
+	g.AddEdge(upX, downE)
+	return upE, downX
+}
+
+// SeqCost implements sim.BatchModel.
+func (Counter) SeqCost(op *sim.Op) int64 { return int64(op.RecordCount()) }
+
+// SkipList models the Section 7 batched skip list over a list of Size
+// keys. Its three-step BOP: build the batch's list (sequential chain of
+// x), search the main list in parallel (x leaves of weight SearchScale ·
+// lg(Size)), splice sequentially (chain of x). The sequential baseline
+// pays SearchScale·lg(Size) + SpliceCost per insert. Insertions grow
+// Size, so per-op costs track list growth exactly as in the experiment.
+type SkipList struct {
+	// Size is the current number of keys (set to the initial size
+	// before a run).
+	Size int64
+	// SearchScale multiplies lg(Size) into per-key search work
+	// (default 1).
+	SearchScale int32
+	// SpliceCost is per-key splice work (default 1).
+	SpliceCost int32
+}
+
+func (s *SkipList) scales() (int32, int32) {
+	sc, sp := s.SearchScale, s.SpliceCost
+	if sc <= 0 {
+		sc = 1
+	}
+	if sp <= 0 {
+		sp = 1
+	}
+	return sc, sp
+}
+
+// BuildBOP implements sim.BatchModel.
+func (s *SkipList) BuildBOP(g *sim.Graph, ops []*sim.Op) (int32, int32) {
+	sc, sp := s.scales()
+	x := totalRecords(ops)
+	search := sc * lg(s.Size)
+	bE, bX := g.Chain(int64(x), sim.KindBatch) // build batch list
+	sE, sX := g.ForkJoin(x, search, sim.KindBatch)
+	pE, pX := g.Chain(int64(x)*int64(sp), sim.KindBatch) // splice
+	g.AddEdge(bX, sE)
+	g.AddEdge(sX, pE)
+	s.Size += int64(x)
+	return bE, pX
+}
+
+// SeqCost implements sim.BatchModel.
+func (s *SkipList) SeqCost(op *sim.Op) int64 {
+	sc, sp := s.scales()
+	var total int64
+	for i := 0; i < op.RecordCount(); i++ {
+		total += int64(sc)*int64(lg(s.Size)) + int64(sp)
+		s.Size++
+	}
+	return total
+}
+
+// Tree models the batched 2-3 search tree of Section 3: a size-x batch
+// sorts its keys (x leaves of weight lg x) and then searches/inserts in
+// parallel (x leaves of weight lg Size), giving O(x lg n) work — the
+// profile whose Theorem 1 corollary is the Θ(n lg n / P) optimal bound.
+type Tree struct {
+	// Size is the current number of keys.
+	Size int64
+}
+
+// BuildBOP implements sim.BatchModel.
+func (t *Tree) BuildBOP(g *sim.Graph, ops []*sim.Op) (int32, int32) {
+	x := totalRecords(ops)
+	sortE, sortX := g.ForkJoin(x, lg(int64(x)), sim.KindBatch)
+	insE, insX := g.ForkJoin(x, lg(t.Size), sim.KindBatch)
+	g.AddEdge(sortX, insE)
+	t.Size += int64(x)
+	return sortE, insX
+}
+
+// SeqCost implements sim.BatchModel.
+func (t *Tree) SeqCost(op *sim.Op) int64 {
+	var total int64
+	for i := 0; i < op.RecordCount(); i++ {
+		total += int64(lg(t.Size)) + 1
+		t.Size++
+	}
+	return total
+}
+
+// Stack operation tags.
+const (
+	// StackPush pushes the op's records.
+	StackPush int32 = iota
+	// StackPop pops the op's records.
+	StackPop
+)
+
+// Stack models the amortized table-doubling stack of Section 3: a normal
+// size-x batch is a fork-join of x unit leaves; a batch that overflows
+// (or underflows) the table also rebuilds it — Θ(Size) extra work in
+// that one batch — keeping amortized Θ(1) per op but non-uniform batch
+// costs, exactly the amortized regime Theorem 1's s(n) definition
+// handles.
+type Stack struct {
+	// Size is the number of elements; Cap the current table capacity.
+	Size, Cap int64
+	// Rebuilds counts table rebuilds (for tests).
+	Rebuilds int
+}
+
+func (s *Stack) ensureCap() {
+	if s.Cap < 8 {
+		s.Cap = 8
+	}
+}
+
+// BuildBOP implements sim.BatchModel.
+func (s *Stack) BuildBOP(g *sim.Graph, ops []*sim.Op) (int32, int32) {
+	s.ensureCap()
+	pushes, pops := 0, 0
+	for _, op := range ops {
+		if op.Tag == StackPop {
+			pops += op.RecordCount()
+		} else {
+			pushes += op.RecordCount()
+		}
+	}
+	entry, exit := g.ForkJoin(pushes+pops, 1, sim.KindBatch)
+	// Grow before pushes if needed.
+	if s.Size+int64(pushes) > s.Cap {
+		for s.Size+int64(pushes) > s.Cap {
+			s.Cap *= 2
+		}
+		s.Rebuilds++
+		cE, cX := g.ForkJoin(int(s.Size), 1, sim.KindBatch) // parallel copy
+		g.AddEdge(exit, cE)
+		exit = cX
+	}
+	s.Size += int64(pushes)
+	if int64(pops) > s.Size {
+		pops = int(s.Size)
+	}
+	s.Size -= int64(pops)
+	// Shrink after pops if under-occupied.
+	if s.Cap > 8 && s.Size < s.Cap/4 {
+		for s.Cap > 8 && s.Size < s.Cap/4 {
+			s.Cap /= 2
+		}
+		s.Rebuilds++
+		cE, cX := g.ForkJoin(int(s.Size)+1, 1, sim.KindBatch)
+		g.AddEdge(exit, cE)
+		exit = cX
+	}
+	return entry, exit
+}
+
+// SeqCost implements sim.BatchModel.
+func (s *Stack) SeqCost(op *sim.Op) int64 {
+	s.ensureCap()
+	var total int64
+	n := int64(op.RecordCount())
+	if op.Tag == StackPop {
+		if n > s.Size {
+			n = s.Size
+		}
+		s.Size -= n
+		total = int64(op.RecordCount())
+		if s.Cap > 8 && s.Size < s.Cap/4 {
+			for s.Cap > 8 && s.Size < s.Cap/4 {
+				s.Cap /= 2
+			}
+			s.Rebuilds++
+			total += s.Size
+		}
+		return total
+	}
+	total = n
+	if s.Size+n > s.Cap {
+		for s.Size+n > s.Cap {
+			s.Cap *= 2
+		}
+		s.Rebuilds++
+		total += s.Size
+	}
+	s.Size += n
+	return total
+}
+
+// ContendedCounter models the trivial concurrent counter of Section 3: a
+// fetch-and-add serializes, so an increment executing alongside k-1
+// others pays Θ(k) (its turn in the serialization order). n concurrent
+// increments therefore take Ω(n) total time regardless of P — the
+// introduction's headline claim.
+type ContendedCounter struct{}
+
+// OpCost implements sim.DirectModel.
+func (ContendedCounter) OpCost(op *sim.Op, active int) int64 {
+	return int64(op.RecordCount()) * int64(active)
+}
+
+// ContendedTree models a concurrent search tree whose updates contend at
+// shared nodes (the paper's footnote on the lock-free B+-tree: P
+// processes CASing the same node give Ω(P) worst-case latency). Each
+// operation pays its lg(Size) search plus a CAS-retry penalty
+// proportional to the number of concurrently active operations.
+type ContendedTree struct {
+	// Size is the tree's key count.
+	Size int64
+	// Contention scales the per-active-op retry penalty (default 1).
+	Contention int32
+}
+
+// OpCost implements sim.DirectModel.
+func (t *ContendedTree) OpCost(op *sim.Op, active int) int64 {
+	c := t.Contention
+	if c <= 0 {
+		c = 1
+	}
+	var total int64
+	for i := 0; i < op.RecordCount(); i++ {
+		total += int64(lg(t.Size)) + int64(c)*int64(active)
+		t.Size++
+	}
+	return total
+}
+
+// Uniform is a generic model: every record costs exactly Work in the
+// batch (fork-join leaves of weight Work) and Work sequentially. It is
+// the knob the Theorem 1 validation sweeps turn (s(n) scales with Work).
+type Uniform struct {
+	// Work is the per-record weight (>= 1).
+	Work int32
+}
+
+// BuildBOP implements sim.BatchModel.
+func (u Uniform) BuildBOP(g *sim.Graph, ops []*sim.Op) (int32, int32) {
+	w := u.Work
+	if w < 1 {
+		w = 1
+	}
+	return g.ForkJoin(totalRecords(ops), w, sim.KindBatch)
+}
+
+// SeqCost implements sim.BatchModel.
+func (u Uniform) SeqCost(op *sim.Op) int64 {
+	w := u.Work
+	if w < 1 {
+		w = 1
+	}
+	return int64(op.RecordCount()) * int64(w)
+}

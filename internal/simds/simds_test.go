@@ -1,0 +1,249 @@
+package simds
+
+import (
+	"testing"
+
+	"batcher/internal/sim"
+)
+
+func opsWithRecords(n, records int) []*sim.Op {
+	ops := make([]*sim.Op, n)
+	for i := range ops {
+		ops[i] = &sim.Op{Records: records}
+	}
+	return ops
+}
+
+func TestLg(t *testing.T) {
+	cases := map[int64]int32{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1 << 20: 20}
+	for n, want := range cases {
+		if got := lg(n); got != want {
+			t.Fatalf("lg(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestCounterModelShape(t *testing.T) {
+	g := sim.NewGraph(64)
+	ops := opsWithRecords(8, 1)
+	e, x := Counter{}.BuildBOP(g, ops)
+	if e == x {
+		t.Fatal("degenerate dag")
+	}
+	// Two fork-joins over 8 unit leaves: work = 2*(8 + 14) = 44.
+	if g.Work() != 44 {
+		t.Fatalf("work=%d", g.Work())
+	}
+	if s := g.Span(); s != 14 {
+		t.Fatalf("span=%d", s)
+	}
+	if got := (Counter{}).SeqCost(&sim.Op{Records: 7}); got != 7 {
+		t.Fatalf("SeqCost=%d", got)
+	}
+}
+
+func TestSkipListModelGrowsAndScales(t *testing.T) {
+	m := &SkipList{Size: 1 << 20}
+	g := sim.NewGraph(1 << 10)
+	ops := opsWithRecords(4, 25) // 100 records
+	m.BuildBOP(g, ops)
+	if m.Size != (1<<20)+100 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	// Search work dominates: 100 leaves of weight lg(2^20)=20.
+	if g.Work() < 100*20 {
+		t.Fatalf("work=%d too small", g.Work())
+	}
+	// Larger lists must cost more per op.
+	small := &SkipList{Size: 1 << 10}
+	big := &SkipList{Size: 1 << 30}
+	cs := small.SeqCost(&sim.Op{Records: 1})
+	cb := big.SeqCost(&sim.Op{Records: 1})
+	if cb <= cs {
+		t.Fatalf("seq cost %d (big) <= %d (small)", cb, cs)
+	}
+}
+
+func TestSkipListSeqCostTracksGrowth(t *testing.T) {
+	m := &SkipList{Size: 10}
+	var total int64
+	for i := 0; i < 1000; i++ {
+		total += m.SeqCost(&sim.Op{Records: 1})
+	}
+	if m.Size != 1010 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	if total < 1000*4 { // lg grows past 4 quickly
+		t.Fatalf("total=%d suspiciously small", total)
+	}
+}
+
+func TestTreeModel(t *testing.T) {
+	m := &Tree{Size: 1 << 16}
+	g := sim.NewGraph(1 << 10)
+	m.BuildBOP(g, opsWithRecords(8, 1))
+	if m.Size != (1<<16)+8 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	// Insert phase leaves have weight lg(2^16) = 16.
+	if g.Work() < 8*16 {
+		t.Fatalf("work=%d", g.Work())
+	}
+}
+
+func TestStackModelAmortization(t *testing.T) {
+	m := &Stack{}
+	totalWork := int64(0)
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		g := sim.NewGraph(64)
+		m.BuildBOP(g, opsWithRecords(4, 1)) // 4 pushes per batch
+		totalWork += g.Work()
+	}
+	if m.Size != rounds*4 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	if m.Rebuilds == 0 {
+		t.Fatal("no rebuilds")
+	}
+	// Amortized O(1) per push: total work bounded by a small multiple of
+	// the 800 pushes (fork/join overhead triples it, doubling adds ~2x).
+	if totalWork > 20*int64(rounds*4) {
+		t.Fatalf("total work %d not amortized", totalWork)
+	}
+}
+
+func TestStackPopsAndShrink(t *testing.T) {
+	m := &Stack{}
+	g := sim.NewGraph(1 << 12)
+	m.BuildBOP(g, opsWithRecords(1, 1000)) // 1000 pushes
+	if m.Size != 1000 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	capBefore := m.Cap
+	pop := &sim.Op{Records: 990, Tag: StackPop}
+	g2 := sim.NewGraph(1 << 12)
+	m.BuildBOP(g2, []*sim.Op{pop})
+	if m.Size != 10 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	if m.Cap >= capBefore {
+		t.Fatalf("cap did not shrink: %d -> %d", capBefore, m.Cap)
+	}
+}
+
+func TestStackSeqCostMirrorsModel(t *testing.T) {
+	m := &Stack{}
+	var total int64
+	for i := 0; i < 100; i++ {
+		total += m.SeqCost(&sim.Op{Records: 8})
+	}
+	if m.Size != 800 {
+		t.Fatalf("size=%d", m.Size)
+	}
+	if m.Rebuilds == 0 {
+		t.Fatal("no rebuilds on seq path")
+	}
+	// Pop below a quarter: shrink occurs.
+	m.SeqCost(&sim.Op{Records: 700, Tag: StackPop})
+	if m.Size != 100 {
+		t.Fatalf("size=%d", m.Size)
+	}
+}
+
+func TestUniformModel(t *testing.T) {
+	g := sim.NewGraph(64)
+	Uniform{Work: 5}.BuildBOP(g, opsWithRecords(4, 1))
+	if g.Work() != 4*5+6 {
+		t.Fatalf("work=%d", g.Work())
+	}
+	if got := (Uniform{Work: 5}).SeqCost(&sim.Op{Records: 3}); got != 15 {
+		t.Fatalf("SeqCost=%d", got)
+	}
+	if got := (Uniform{}).SeqCost(&sim.Op{}); got != 1 {
+		t.Fatalf("default SeqCost=%d", got)
+	}
+}
+
+// TestFig5ShapeSmoke is the early end-to-end check of the headline
+// experiment: batched skip-list insertion throughput must rise with P
+// and, for large initial sizes, the P=8 run must beat the sequential
+// baseline by a factor in the ballpark the paper reports (~3x).
+func TestFig5ShapeSmoke(t *testing.T) {
+	const calls, recordsPer = 200, 100 // 20k insertions
+	build := func() *sim.Graph {
+		g := sim.NewGraph(1 << 12)
+		ops := make([]*sim.Op, calls)
+		for i := range ops {
+			ops[i] = &sim.Op{Records: recordsPer}
+		}
+		g.ForkJoinDS(ops, 1, 1)
+		return g
+	}
+	const initial = 10_000_000
+	seq := sim.SequentialTime(build(), &SkipList{Size: initial})
+	t1 := sim.NewSim(sim.Config{Workers: 1, Seed: 5}, &SkipList{Size: initial}).Run(build()).Makespan
+	t8 := sim.NewSim(sim.Config{Workers: 8, Seed: 5}, &SkipList{Size: initial}).Run(build()).Makespan
+
+	// BATCHER on 1 worker is within a constant factor of SEQ (overheads
+	// only) for large lists.
+	if ratio := float64(t1) / float64(seq); ratio > 2.0 {
+		t.Fatalf("BATCHER@1 / SEQ = %.2f; overhead not amortized on a 10M list", ratio)
+	}
+	// BATCHER speeds up with workers.
+	if sp := float64(t1) / float64(t8); sp < 2.0 {
+		t.Fatalf("speedup@8 = %.2f; expected >= 2", sp)
+	}
+	// BATCHER@8 beats SEQ.
+	if float64(seq)/float64(t8) < 1.5 {
+		t.Fatalf("BATCHER@8 only %.2fx over SEQ", float64(seq)/float64(t8))
+	}
+}
+
+func TestTreeSeqCost(t *testing.T) {
+	m := &Tree{Size: 1 << 16}
+	got := m.SeqCost(&sim.Op{Records: 4})
+	if got < 4*16 {
+		t.Fatalf("SeqCost = %d", got)
+	}
+	if m.Size != (1<<16)+4 {
+		t.Fatalf("size = %d", m.Size)
+	}
+}
+
+func TestContendedCounterOpCost(t *testing.T) {
+	c := ContendedCounter{}
+	if got := c.OpCost(&sim.Op{Records: 3}, 4); got != 12 {
+		t.Fatalf("OpCost = %d, want records*active = 12", got)
+	}
+	if got := c.OpCost(&sim.Op{}, 1); got != 1 {
+		t.Fatalf("uncontended OpCost = %d", got)
+	}
+}
+
+func TestContendedTreeOpCost(t *testing.T) {
+	tr := &ContendedTree{Size: 1 << 10} // lg = 10
+	// One record, no contention (active 1), default contention scale 1:
+	// cost = 10 + 1 = 11.
+	if got := tr.OpCost(&sim.Op{}, 1); got != 11 {
+		t.Fatalf("OpCost = %d, want 11", got)
+	}
+	if tr.Size != (1<<10)+1 {
+		t.Fatalf("size = %d", tr.Size)
+	}
+	// Contention raises cost linearly in active ops (fresh instances so
+	// size growth does not shift the lg term between samples).
+	lo := (&ContendedTree{Size: 1 << 10, Contention: 4}).OpCost(&sim.Op{}, 1)
+	hi := (&ContendedTree{Size: 1 << 10, Contention: 4}).OpCost(&sim.Op{}, 8)
+	if hi-lo != 4*7 {
+		t.Fatalf("contention slope: %d -> %d", lo, hi)
+	}
+}
+
+func TestUniformDefaultWork(t *testing.T) {
+	g := sim.NewGraph(16)
+	Uniform{}.BuildBOP(g, opsWithRecords(2, 1)) // Work <= 0 defaults to 1
+	if g.Work() != 2*1+2 {
+		t.Fatalf("work = %d", g.Work())
+	}
+}

@@ -1,0 +1,233 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness uses: summary statistics, least-squares fits for validating the
+// Theorem 1 running-time bound against measured makespans, and aligned
+// text tables for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// MinMax returns the extremes (0,0 for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the input is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// FitResult reports a least-squares fit y ~= Sum_j coef[j] * x[j].
+type FitResult struct {
+	// Coef are the fitted coefficients, one per predictor.
+	Coef []float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLinear fits y ≈ Σ coef_j · X[i][j] (no intercept; include a column
+// of ones for one) by solving the normal equations with Gaussian
+// elimination. It is used to regress measured makespans against the
+// Theorem 1 terms (T1+W+nτ)/P, mτ, and T∞. It returns ok=false for
+// degenerate systems.
+func FitLinear(X [][]float64, y []float64) (FitResult, bool) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return FitResult{}, false
+	}
+	k := len(X[0])
+	if k == 0 || n < k {
+		return FitResult{}, false
+	}
+	// Normal equations: (XᵀX) c = Xᵀy.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	for i := 0; i < n; i++ {
+		if len(X[i]) != k {
+			return FitResult{}, false
+		}
+		for p := 0; p < k; p++ {
+			b[p] += X[i][p] * y[i]
+			for q := 0; q < k; q++ {
+				a[p][q] += X[i][p] * X[i][q]
+			}
+		}
+	}
+	coef, ok := solve(a, b)
+	if !ok {
+		return FitResult{}, false
+	}
+	// R².
+	ybar := Mean(y)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		for j := 0; j < k; j++ {
+			pred += coef[j] * X[i][j]
+		}
+		d := y[i] - pred
+		ssRes += d * d
+		dt := y[i] - ybar
+		ssTot += dt * dt
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return FitResult{Coef: coef, R2: r2}, true
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best, bestAbs := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if bestAbs < 1e-12 {
+			return nil, false
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}
+
+// Table accumulates rows and renders them with aligned columns; the
+// experiment CLIs print their series through it.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v (floats as %.3g if
+// passed as float64).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

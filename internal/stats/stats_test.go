@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7)) {
+		t.Fatalf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4, 16}), 4) {
+		t.Fatalf("geomean = %v", GeoMean([]float64{1, 4, 16}))
+	}
+	if GeoMean([]float64{1, 0, 2}) != 0 {
+		t.Fatal("non-positive input")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3*a + 5*b exactly.
+	var X [][]float64
+	var y []float64
+	for a := 1.0; a <= 5; a++ {
+		for b := 1.0; b <= 5; b++ {
+			X = append(X, []float64{a, b})
+			y = append(y, 3*a+5*b)
+		}
+	}
+	fit, ok := FitLinear(X, y)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if !almost(fit.Coef[0], 3) || !almost(fit.Coef[1], 5) {
+		t.Fatalf("coef = %v", fit.Coef)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLinearWithNoise(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	noise := []float64{0.1, -0.2, 0.05, -0.1, 0.15, 0, -0.05, 0.2, -0.15, 0.1}
+	for i := 0; i < 10; i++ {
+		x := float64(i + 1)
+		X = append(X, []float64{x, 1})
+		y = append(y, 2*x+7+noise[i])
+	}
+	fit, ok := FitLinear(X, y)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Coef[0]-2) > 0.1 || math.Abs(fit.Coef[1]-7) > 0.5 {
+		t.Fatalf("coef = %v", fit.Coef)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if _, ok := FitLinear(nil, nil); ok {
+		t.Fatal("empty fit succeeded")
+	}
+	// Collinear predictors.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	if _, ok := FitLinear(X, y); ok {
+		t.Fatal("singular fit succeeded")
+	}
+	// Fewer rows than predictors.
+	if _, ok := FitLinear([][]float64{{1, 2}}, []float64{1}); ok {
+		t.Fatal("underdetermined fit succeeded")
+	}
+}
+
+func TestQuickFitRecoversPlantedModel(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := float64(seed%7) + 1
+		b := float64(seed%11) + 1
+		var X [][]float64
+		var y []float64
+		for i := 1; i <= 12; i++ {
+			x1 := float64(i)
+			x2 := float64(i*i%13) + 1
+			X = append(X, []float64{x1, x2})
+			y = append(y, a*x1+b*x2)
+		}
+		fit, ok := FitLinear(X, y)
+		return ok && math.Abs(fit.Coef[0]-a) < 1e-6 && math.Abs(fit.Coef[1]-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2.5") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Aligned: all lines same prefix width for first column.
+	if len(lines[0]) < len("name") {
+		t.Fatal("bad header")
+	}
+}

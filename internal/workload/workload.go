@@ -1,0 +1,132 @@
+// Package workload generates the key streams and operation mixes the
+// experiments drive data structures with: uniform random keys, sequential
+// (adversarially contiguous) keys, clustered keys, and an approximate
+// Zipf sampler for skewed access patterns.
+package workload
+
+import (
+	"math"
+
+	"batcher/internal/rng"
+)
+
+// UniformKeys returns n keys uniform in [0, space).
+func UniformKeys(r *rng.Rand, n int, space int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63() % space
+	}
+	return out
+}
+
+// SequentialKeys returns start, start+1, ..., start+n-1 — the contiguous
+// insert pattern the paper cites as the worst case for concurrent
+// B-trees (all inserts hit the same node).
+func SequentialKeys(start int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)
+	}
+	return out
+}
+
+// ClusteredKeys returns n keys grouped into the given number of tight
+// clusters spread over space: many nearby keys, stressing structural
+// hot spots.
+func ClusteredKeys(r *rng.Rand, n int, clusters int, space int64) []int64 {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := make([]int64, clusters)
+	for i := range centers {
+		centers[i] = r.Int63() % space
+	}
+	width := space / int64(clusters) / 1024
+	if width < 1 {
+		width = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		c := centers[r.Intn(clusters)]
+		out[i] = c + r.Int63()%width
+	}
+	return out
+}
+
+// Zipf samples from an approximate Zipf distribution over [0, n) with
+// exponent s > 0 via inverse-CDF on the continuous approximation. It is
+// deliberately simple (stdlib-only) and adequate for skewed-workload
+// benchmarks.
+type Zipf struct {
+	r    *rng.Rand
+	n    float64
+	s    float64
+	norm float64
+}
+
+// NewZipf creates a sampler over [0, n) with exponent s (s != 1 handled;
+// s near 1 uses the log form).
+func NewZipf(r *rng.Rand, n int64, s float64) *Zipf {
+	z := &Zipf{r: r, n: float64(n), s: s}
+	z.norm = z.cdf(z.n)
+	return z
+}
+
+// cdf is the unnormalized continuous CDF integral of x^-s from 1 to x+1.
+func (z *Zipf) cdf(x float64) float64 {
+	if math.Abs(z.s-1) < 1e-9 {
+		return math.Log(x + 1)
+	}
+	return (math.Pow(x+1, 1-z.s) - 1) / (1 - z.s)
+}
+
+// invCDF inverts cdf.
+func (z *Zipf) invCDF(y float64) float64 {
+	if math.Abs(z.s-1) < 1e-9 {
+		return math.Exp(y) - 1
+	}
+	return math.Pow(y*(1-z.s)+1, 1/(1-z.s)) - 1
+}
+
+// Next returns the next sample in [0, n), skewed toward 0.
+func (z *Zipf) Next() int64 {
+	y := z.r.Float64() * z.norm
+	v := int64(z.invCDF(y))
+	if v < 0 {
+		v = 0
+	}
+	if v >= int64(z.n) {
+		v = int64(z.n) - 1
+	}
+	return v
+}
+
+// OpMix describes a read/insert/delete mix in percent; the remainder up
+// to 100 is reads.
+type OpMix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// Kind of a generated operation.
+type Kind uint8
+
+// Operation kinds produced by Mix.
+const (
+	Read Kind = iota
+	Insert
+	Delete
+)
+
+// Next draws an operation kind from the mix.
+func (m OpMix) Next(r *rng.Rand) Kind {
+	v := r.Intn(100)
+	switch {
+	case v < m.InsertPct:
+		return Insert
+	case v < m.InsertPct+m.DeletePct:
+		return Delete
+	default:
+		return Read
+	}
+}

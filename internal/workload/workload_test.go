@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"batcher/internal/rng"
+)
+
+func TestUniformKeysRange(t *testing.T) {
+	r := rng.New(1)
+	keys := UniformKeys(r, 10000, 500)
+	if len(keys) != 10000 {
+		t.Fatalf("len=%d", len(keys))
+	}
+	seen := map[int64]bool{}
+	for _, k := range keys {
+		if k < 0 || k >= 500 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 400 {
+		t.Fatalf("only %d distinct keys of 500", len(seen))
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	keys := SequentialKeys(100, 5)
+	want := []int64{100, 101, 102, 103, 104}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys=%v", keys)
+		}
+	}
+}
+
+func TestClusteredKeys(t *testing.T) {
+	r := rng.New(2)
+	keys := ClusteredKeys(r, 5000, 4, 1<<40)
+	if len(keys) != 5000 {
+		t.Fatalf("len=%d", len(keys))
+	}
+	// Keys should occupy far fewer distinct "regions" than uniform: count
+	// distinct high bits.
+	regions := map[int64]bool{}
+	for _, k := range keys {
+		regions[k>>30] = true
+	}
+	if len(regions) > 64 {
+		t.Fatalf("%d regions; not clustered", len(regions))
+	}
+}
+
+func TestClusteredKeysDegenerate(t *testing.T) {
+	r := rng.New(3)
+	keys := ClusteredKeys(r, 100, 0, 10) // clusters < 1, tiny space
+	for _, k := range keys {
+		if k < 0 {
+			t.Fatalf("negative key %d", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rng.New(4)
+	z := NewZipf(r, 1000, 1.2)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank-0 must dominate rank-100 heavily.
+	if counts[0] < 10*counts[100] {
+		t.Fatalf("not skewed: c0=%d c100=%d", counts[0], counts[100])
+	}
+	// All mass must not collapse onto one value.
+	if counts[0] > n/2 {
+		t.Fatalf("degenerate skew: c0=%d", counts[0])
+	}
+}
+
+func TestZipfNearOne(t *testing.T) {
+	r := rng.New(5)
+	z := NewZipf(r, 100, 1.0)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestOpMix(t *testing.T) {
+	r := rng.New(6)
+	mix := OpMix{InsertPct: 50, DeletePct: 25}
+	counts := map[Kind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[mix.Next(r)]++
+	}
+	frac := func(k Kind) float64 { return float64(counts[k]) / n }
+	if f := frac(Insert); f < 0.47 || f > 0.53 {
+		t.Fatalf("insert frac %v", f)
+	}
+	if f := frac(Delete); f < 0.22 || f > 0.28 {
+		t.Fatalf("delete frac %v", f)
+	}
+	if f := frac(Read); f < 0.22 || f > 0.28 {
+		t.Fatalf("read frac %v", f)
+	}
+}
