@@ -1,6 +1,6 @@
 # Development targets. Everything is stdlib-only; `go` >= 1.22 suffices.
 
-.PHONY: all build vet test race bench lab lab-quick examples cover fuzz
+.PHONY: all build vet test race bench bench-json lab lab-quick examples cover fuzz
 
 all: build vet test
 
@@ -18,6 +18,13 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Scheduler microbenchmarks -> BENCH_sched.json (the perf trajectory;
+# see cmd/batcherlab/benchjson.go). BENCH_ARGS tightens/loosens the run.
+BENCH_ARGS ?= -benchtime=5x -count=1
+bench-json:
+	go test -run '^$$' -bench 'Fig5Real|CounterReal|RuntimeForkJoin|BatchifyRoundTrip|ServerThroughput' \
+		-benchmem $(BENCH_ARGS) . | go run ./cmd/batcherlab benchjson -o BENCH_sched.json
 
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).
 lab:

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchjson converts `go test -bench -benchmem` output (read from stdin
+// or the file named by -i) into a JSON document mapping benchmark name
+// to {ns_per_op, bytes_per_op, allocs_per_op, iterations}, written to
+// stdout or the file named by -o. It exists so that `make bench-json`
+// can record the scheduler's perf trajectory (BENCH_sched.json) without
+// external tooling.
+//
+// Benchmark lines look like:
+//
+//	BenchmarkFig5Real/engine=BATCHER  5  140349961 ns/op  8445600 B/op  2160 allocs/op
+//
+// Non-benchmark lines (goos/goarch/pkg/PASS/ok) are ignored, as are
+// benchmarks run without -benchmem (they simply lack the B/op and
+// allocs/op fields).
+
+// benchResult is one benchmark's measured figures.
+type benchResult struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+}
+
+// parseBenchLine parses a single `go test -bench` output line, returning
+// ok=false for lines that are not benchmark results.
+func parseBenchLine(line string) (name string, r benchResult, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", benchResult{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in "<value> <unit>" pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	if !sawNs {
+		return "", benchResult{}, false
+	}
+	return fields[0], r, true
+}
+
+// parseBench reads go test -bench output and collects benchmark results
+// in input order. Repeated names (from -count>1) keep the last run.
+func parseBench(in io.Reader) (map[string]benchResult, []string, error) {
+	results := make(map[string]benchResult)
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = r
+	}
+	return results, order, sc.Err()
+}
+
+// benchjsonCmd implements the benchjson subcommand. args are the
+// command-line arguments after the subcommand name.
+func benchjsonCmd(args []string) {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	benchIn := fs.String("i", "", "input file (default stdin)")
+	benchOut := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	in := io.Reader(os.Stdin)
+	if *benchIn != "" {
+		f, err := os.Open(*benchIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, order, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	// Emit with keys in input order (json.Marshal on a map would sort
+	// them, hiding the bench file's natural grouping).
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range order {
+		enc, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, enc)
+		if i != len(order)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+
+	out := os.Stdout
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := io.WriteString(out, b.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks\n", len(order))
+}

@@ -16,6 +16,8 @@
 //	batcherlab ablate   # steal-policy / batch-cap / launch ablations
 //	batcherlab real     # wall-clock runs on the goroutine runtime
 //	batcherlab all      # everything above
+//	batcherlab benchjson [-i bench.txt] [-o BENCH_sched.json]
+//	                    # convert `go test -bench -benchmem` output to JSON
 //
 // Flags:
 //
@@ -46,6 +48,12 @@ func main() {
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
+	}
+	if cmd == "benchjson" {
+		// Not an experiment: a filter turning `go test -bench -benchmem`
+		// output into JSON (see benchjson.go). Excluded from "all".
+		benchjsonCmd(flag.Args()[1:])
+		return
 	}
 	ran := false
 	run := func(name string, f func()) {

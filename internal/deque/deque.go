@@ -36,14 +36,28 @@ func (r *ring[T]) grow(t, b int64) *ring[T] {
 	return bigger
 }
 
+// cacheLinePad separates the deque's hot fields: 128 bytes — two
+// 64-byte lines — so the adjacent-line prefetcher cannot couple them.
+const cacheLinePad = 128
+
 // Deque is a lock-free work-stealing deque of *T. The zero value is not
 // ready for use; call New.
+//
+// The header fields live on separate padded cache lines: top is CASed by
+// thieves, bottom is written by the owner on every push/pop, and arr is
+// read by everyone but written only on (rare) growth. Without padding,
+// every owner push invalidates the line thieves spin on and vice versa.
 type Deque[T any] struct {
+	_      [cacheLinePad]byte
 	top    atomic.Int64
+	_      [cacheLinePad - 8]byte
 	bottom atomic.Int64
+	_      [cacheLinePad - 8]byte
 	arr    atomic.Pointer[ring[T]]
-	// steals counts successful Steal calls, for scheduler metrics.
+	// steals counts successful Steal calls, for scheduler metrics. It
+	// shares arr's lines: both are thief-written and growth is rare.
 	steals atomic.Int64
+	_      [cacheLinePad - 16]byte
 }
 
 // New returns an empty deque.

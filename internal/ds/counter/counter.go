@@ -16,10 +16,17 @@ import (
 // OpIncrement is the only operation kind.
 const OpIncrement sched.OpKind = iota
 
+// seqBatchMax is the batch size up to which RunBatch runs sequentially:
+// a prefix-sum over so few terms is cheaper than any forking, and the
+// sequential path allocates nothing. Scheduler batches (size <= P) take
+// it essentially always; only large Server batches go parallel.
+const seqBatchMax = 32
+
 // Batched is the implicitly batched counter. Access it from core tasks
 // via Increment; the scheduler invokes RunBatch.
 type Batched struct {
 	value int64
+	vals  []int64 // parallel-path scratch; one batch at a time (Invariant 1)
 }
 
 var _ sched.Batched = (*Batched)(nil)
@@ -32,8 +39,9 @@ func New(initial int64) *Batched { return &Batched{value: initial} }
 // core task; it blocks (without spinning the worker) until some batch
 // has performed the operation.
 func (b *Batched) Increment(c *sched.Ctx, delta int64) int64 {
-	op := sched.OpRecord{DS: b, Kind: OpIncrement, Val: delta}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpIncrement, Val: delta}
+	c.Batchify(op)
 	return op.Res
 }
 
@@ -46,7 +54,20 @@ func (b *Batched) Value() int64 { return b.value }
 // synchronization — the scheduler guarantees one batch at a time.
 func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
 	n := len(ops)
-	vals := make([]int64, n)
+	if n <= seqBatchMax {
+		v := b.value
+		for _, op := range ops {
+			v += op.Val
+			op.Res = v
+			op.Ok = true
+		}
+		b.value = v
+		return
+	}
+	if cap(b.vals) < n {
+		b.vals = make([]int64, n)
+	}
+	vals := b.vals[:n]
 	c.For(0, n, 64, func(_ *sched.Ctx, i int) { vals[i] = ops[i].Val })
 	total := prefix.InclusiveInt64(c, vals)
 	base := b.value

@@ -67,22 +67,25 @@ func (b *Batched) hash(k int64) int {
 // Put maps key to val; reports whether key was newly inserted. Core
 // tasks only.
 func (b *Batched) Put(c *sched.Ctx, key, val int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpPut, Key: key, Val: val}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpPut, Key: key, Val: val}
+	c.Batchify(op)
 	return op.Ok
 }
 
 // Get looks up key. Core tasks only.
 func (b *Batched) Get(c *sched.Ctx, key int64) (int64, bool) {
-	op := sched.OpRecord{DS: b, Kind: OpGet, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpGet, Key: key}
+	c.Batchify(op)
 	return op.Res, op.Ok
 }
 
 // Del removes key, reporting whether it was present. Core tasks only.
 func (b *Batched) Del(c *sched.Ctx, key int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpDel, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpDel, Key: key}
+	c.Batchify(op)
 	return op.Ok
 }
 

@@ -133,15 +133,17 @@ func (b *Batched) List() *List { return b.l }
 
 // InsertAfter inserts a new element after x. Core tasks only.
 func (b *Batched) InsertAfter(c *sched.Ctx, x Elem) Elem {
-	op := sched.OpRecord{DS: b, Kind: OpInsertAfter, Key: int64(x)}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsertAfter, Key: int64(x)}
+	c.Batchify(op)
 	return Elem(op.Res)
 }
 
 // Before reports whether a precedes b. Core tasks only.
 func (b *Batched) Before(c *sched.Ctx, a, x Elem) bool {
-	op := sched.OpRecord{DS: b, Kind: OpBefore, Key: int64(a), Val: int64(x)}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpBefore, Key: int64(a), Val: int64(x)}
+	c.Batchify(op)
 	return op.Ok
 }
 

@@ -95,15 +95,17 @@ func NewBatched() *Batched { return &Batched{} }
 
 // Insert adds priority k with payload v. Core tasks only.
 func (b *Batched) Insert(c *sched.Ctx, k, v int64) {
-	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: k, Val: v}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsert, Key: k, Val: v}
+	c.Batchify(op)
 }
 
 // DeleteMin removes and returns the minimum-priority element. Core tasks
 // only.
 func (b *Batched) DeleteMin(c *sched.Ctx) (k, v int64, ok bool) {
-	op := sched.OpRecord{DS: b, Kind: OpDeleteMin}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpDeleteMin}
+	c.Batchify(op)
 	return op.Key, op.Res, op.Ok
 }
 

@@ -37,16 +37,18 @@ func New() *Batched { return &Batched{buf: make([]int64, minCap)} }
 
 // Enqueue appends v. Core tasks only.
 func (b *Batched) Enqueue(c *sched.Ctx, v int64) {
-	op := sched.OpRecord{DS: b, Kind: OpEnqueue, Val: v}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpEnqueue, Val: v}
+	c.Batchify(op)
 }
 
 // Dequeue removes and returns the oldest element; ok is false if the
 // queue was empty at this operation's turn in its batch. Core tasks
 // only.
 func (b *Batched) Dequeue(c *sched.Ctx) (v int64, ok bool) {
-	op := sched.OpRecord{DS: b, Kind: OpDequeue}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpDequeue}
+	c.Batchify(op)
 	return op.Res, op.Ok
 }
 

@@ -25,8 +25,18 @@ const (
 )
 
 // Batched is the implicitly batched skip list.
+//
+// The scratch fields hold per-batch working storage, reused across
+// batches: the scheduler runs at most one batch at a time (Invariant 1),
+// so RunBatch is never re-entered concurrently on the same structure.
 type Batched struct {
 	l *List
+
+	lookups []*sched.OpRecord
+	succs   []*sched.OpRecord
+	deletes []*sched.OpRecord
+	inserts []insertReq
+	preds   []*node // flat [i*maxLevel, (i+1)*maxLevel) predecessor towers
 }
 
 var _ sched.Batched = (*Batched)(nil)
@@ -42,8 +52,9 @@ func (b *Batched) List() *List { return b.l }
 // Insert adds key/val; reports whether key was newly inserted. Core
 // tasks only.
 func (b *Batched) Insert(c *sched.Ctx, key, val int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
+	c.Batchify(op)
 	return op.Ok
 }
 
@@ -51,30 +62,34 @@ func (b *Batched) Insert(c *sched.Ctx, key, val int64) bool {
 // inserted. It is the multi-record operation of the paper's Section 7
 // experiment. Core tasks only.
 func (b *Batched) InsertMany(c *sched.Ctx, keys []int64, val int64) int {
-	op := sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
+	c.Batchify(op)
 	return int(op.Res)
 }
 
 // Contains looks up key. Core tasks only.
 func (b *Batched) Contains(c *sched.Ctx, key int64) (int64, bool) {
-	op := sched.OpRecord{DS: b, Kind: OpContains, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpContains, Key: key}
+	c.Batchify(op)
 	return op.Res, op.Ok
 }
 
 // Succ returns the smallest key >= key with its value, or ok=false. Core
 // tasks only.
 func (b *Batched) Succ(c *sched.Ctx, key int64) (k, v int64, ok bool) {
-	op := sched.OpRecord{DS: b, Kind: OpSucc, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpSucc, Key: key}
+	c.Batchify(op)
 	return op.Key, op.Res, op.Ok
 }
 
 // Delete removes key, reporting whether it was present. Core tasks only.
 func (b *Batched) Delete(c *sched.Ctx, key int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
+	c.Batchify(op)
 	return op.Ok
 }
 
@@ -90,8 +105,10 @@ type insertReq struct {
 // order, then all deletes in key order. Each phase searches in parallel;
 // structural modification is sequential, as in the paper's prototype.
 func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
-	var lookups, succs, deletes []*sched.OpRecord
-	var inserts []insertReq
+	lookups := b.lookups[:0]
+	succs := b.succs[:0]
+	deletes := b.deletes[:0]
+	inserts := b.inserts[:0]
 	for _, op := range ops {
 		switch op.Kind {
 		case OpContains:
@@ -114,6 +131,7 @@ func (b *Batched) RunBatch(c *sched.Ctx, ops []*sched.OpRecord) {
 			panic("skiplist: unknown op kind")
 		}
 	}
+	b.lookups, b.succs, b.deletes, b.inserts = lookups, succs, deletes, inserts
 
 	// Phase 1: lookups and successor queries, fully parallel, read-only.
 	c.For(0, len(lookups), 1, func(_ *sched.Ctx, i int) {
@@ -141,9 +159,11 @@ func (b *Batched) runInserts(c *sched.Ctx, inserts []insertReq, ops []*sched.OpR
 	sort.SliceStable(inserts, func(i, j int) bool { return inserts[i].key < inserts[j].key })
 
 	// Step 2 (parallel): search the main list for each key's predecessor
-	// tower. Read-only on the main list.
+	// tower. Read-only on the main list; towers are disjoint slices of
+	// the flat scratch buffer, so parallel fills do not overlap.
+	buf := b.predScratch(len(inserts))
 	c.For(0, len(inserts), 1, func(_ *sched.Ctx, i int) {
-		preds := make([]*node, maxLevel)
+		preds := buf[i*maxLevel : (i+1)*maxLevel : (i+1)*maxLevel]
 		b.l.searchPreds(inserts[i].key, preds)
 		inserts[i].preds = preds
 	})
@@ -201,18 +221,28 @@ func (b *Batched) runDeletes(c *sched.Ctx, deletes []*sched.OpRecord) {
 	// saved predecessors are always live and their current next pointers
 	// reflect prior unlinks.
 	sort.Slice(deletes, func(i, j int) bool { return deletes[i].Key > deletes[j].Key })
-	preds := make([][]*node, len(deletes))
+	// The insert phase is over, so its predecessor towers are dead and
+	// the flat scratch can be reused.
+	buf := b.predScratch(len(deletes))
 	c.For(0, len(deletes), 1, func(_ *sched.Ctx, i int) {
-		preds[i] = make([]*node, maxLevel)
-		b.l.searchPreds(deletes[i].Key, preds[i])
+		b.l.searchPreds(deletes[i].Key, buf[i*maxLevel:(i+1)*maxLevel])
 	})
 	for i, op := range deletes {
-		target := preds[i][0].next[0]
+		preds := buf[i*maxLevel : (i+1)*maxLevel]
+		target := preds[0].next[0]
 		if target == nil || target.key != op.Key {
 			op.Ok = false // absent, or a duplicate delete already took it
 			continue
 		}
-		b.l.unlink(target, preds[i])
+		b.l.unlink(target, preds)
 		op.Ok = true
 	}
+}
+
+// predScratch returns a flat buffer with room for n predecessor towers.
+func (b *Batched) predScratch(n int) []*node {
+	if cap(b.preds) < n*maxLevel {
+		b.preds = make([]*node, n*maxLevel)
+	}
+	return b.preds[:n*maxLevel]
 }

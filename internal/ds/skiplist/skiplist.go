@@ -35,12 +35,28 @@ type node struct {
 	next []*node
 }
 
+// arenaChunk is the number of nodes (and, separately, tower pointers)
+// carved per arena slab. Expected tower height is 2, so one tower slab
+// of 2*arenaChunk pointers roughly matches one node slab.
+const arenaChunk = 512
+
 // List is a sequential skip list mapping int64 keys to int64 values.
+//
+// Nodes and their towers are carved from chunked arenas, amortizing the
+// two per-insert heap allocations of the naive representation down to
+// ~2 per arenaChunk inserts. The trade-off is GC granularity: a slab is
+// reclaimed only when every node carved from it is unreachable, so
+// workloads that delete most of what they insert retain somewhat more
+// memory. For the insert-heavy workloads of the paper's experiments
+// this is the right trade.
 type List struct {
 	head     *node
 	size     int
 	level    int // number of levels in use (>= 1)
 	hashSeed uint64
+
+	nodeArena  []node  // unused remainder of the current node slab
+	towerArena []*node // unused remainder of the current tower slab
 }
 
 // NewList returns an empty sequential skip list. seed fixes the (hash
@@ -94,13 +110,30 @@ func (l *List) Insert(key, val int64) bool {
 	return true
 }
 
+// newNode carves a node with an h-slot tower from the arenas.
+func (l *List) newNode(key, val int64, h int) *node {
+	if len(l.nodeArena) == 0 {
+		l.nodeArena = make([]node, arenaChunk)
+	}
+	n := &l.nodeArena[0]
+	l.nodeArena = l.nodeArena[1:]
+	if len(l.towerArena) < h {
+		// The slab remainder (< h <= maxLevel pointers) is abandoned.
+		l.towerArena = make([]*node, 2*arenaChunk)
+	}
+	n.key, n.val = key, val
+	n.next = l.towerArena[:h:h]
+	l.towerArena = l.towerArena[h:]
+	return n
+}
+
 // link splices a new node for key behind the given predecessors.
 func (l *List) link(key, val int64, preds []*node) {
 	h := l.height(key)
 	if h > l.level {
 		l.level = h
 	}
-	n := &node{key: key, val: val, next: make([]*node, h)}
+	n := l.newNode(key, val, h)
 	for lv := 0; lv < h; lv++ {
 		n.next[lv] = preds[lv].next[lv]
 		preds[lv].next[lv] = n

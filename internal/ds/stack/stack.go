@@ -35,16 +35,18 @@ func New() *Batched { return &Batched{buf: make([]int64, minCap)} }
 
 // Push pushes v. Core tasks only.
 func (b *Batched) Push(c *sched.Ctx, v int64) {
-	op := sched.OpRecord{DS: b, Kind: OpPush, Val: v}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpPush, Val: v}
+	c.Batchify(op)
 }
 
 // Pop pops and returns the top element; ok is false if the stack was
 // empty when this operation's turn came within its batch's POP phase.
 // Core tasks only.
 func (b *Batched) Pop(c *sched.Ctx) (v int64, ok bool) {
-	op := sched.OpRecord{DS: b, Kind: OpPop}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpPop}
+	c.Batchify(op)
 	return op.Res, op.Ok
 }
 

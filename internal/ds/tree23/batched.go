@@ -39,30 +39,34 @@ func (b *Batched) Tree() *Tree { return b.t }
 // Insert adds key/val; reports whether key was newly inserted. Core
 // tasks only.
 func (b *Batched) Insert(c *sched.Ctx, key, val int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsert, Key: key, Val: val}
+	c.Batchify(op)
 	return op.Ok
 }
 
 // InsertMany adds all keys with value val, returning how many were newly
 // inserted. Core tasks only.
 func (b *Batched) InsertMany(c *sched.Ctx, keys []int64, val int64) int {
-	op := sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpInsertMany, Val: val, Aux: keys}
+	c.Batchify(op)
 	return int(op.Res)
 }
 
 // Contains looks up key. Core tasks only.
 func (b *Batched) Contains(c *sched.Ctx, key int64) (int64, bool) {
-	op := sched.OpRecord{DS: b, Kind: OpContains, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpContains, Key: key}
+	c.Batchify(op)
 	return op.Res, op.Ok
 }
 
 // Delete removes key, reporting whether it was present. Core tasks only.
 func (b *Batched) Delete(c *sched.Ctx, key int64) bool {
-	op := sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpDelete, Key: key}
+	c.Batchify(op)
 	return op.Ok
 }
 

@@ -23,8 +23,9 @@ type RangeResult struct {
 // order. Core tasks only.
 func (b *Batched) Range(c *sched.Ctx, lo, hi int64) ([]int64, []int64) {
 	var out RangeResult
-	op := sched.OpRecord{DS: b, Kind: OpRange, Key: lo, Val: hi, Aux: &out}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpRange, Key: lo, Val: hi, Aux: &out}
+	c.Batchify(op)
 	return out.Keys, out.Vals
 }
 

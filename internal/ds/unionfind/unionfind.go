@@ -92,23 +92,26 @@ func (b *Batched) Seq() *Seq { return b.s }
 
 // Find returns x's representative. Core tasks only.
 func (b *Batched) Find(c *sched.Ctx, x int32) int32 {
-	op := sched.OpRecord{DS: b, Kind: OpFind, Key: int64(x)}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpFind, Key: int64(x)}
+	c.Batchify(op)
 	return int32(op.Res)
 }
 
 // Union merges the sets of a and b; reports whether they were separate.
 // Core tasks only.
 func (b *Batched) Union(c *sched.Ctx, a, x int32) bool {
-	op := sched.OpRecord{DS: b, Kind: OpUnion, Key: int64(a), Val: int64(x)}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpUnion, Key: int64(a), Val: int64(x)}
+	c.Batchify(op)
 	return op.Ok
 }
 
 // Same reports whether a and b share a set. Core tasks only.
 func (b *Batched) Same(c *sched.Ctx, a, x int32) bool {
-	op := sched.OpRecord{DS: b, Kind: OpSame, Key: int64(a), Val: int64(x)}
-	c.Batchify(&op)
+	op := c.Op()
+	*op = sched.OpRecord{DS: b, Kind: OpSame, Key: int64(a), Val: int64(x)}
+	c.Batchify(op)
 	return op.Ok
 }
 

@@ -1,0 +1,122 @@
+package sched
+
+import "testing"
+
+// These tests pin the zero-allocation property of the steady-state hot
+// paths: un-stolen Fork, For, and a Batchify round trip (including the
+// LaunchBatch it triggers). They run the measured code inside a live
+// runtime via a job channel, so the worker's free lists and the
+// runtime's scratch buffers are warm by the time AllocsPerRun measures.
+//
+// P=1 makes the schedule deterministic: nothing can be stolen, so Fork
+// always takes the un-stolen fast path and the Batchify caller is always
+// its own batch launcher.
+
+// allocHarness runs root-task thunks on demand inside a single Run.
+type allocHarness struct {
+	jobs    chan func(*Ctx)
+	jobDone chan struct{}
+	runDone chan struct{}
+}
+
+func startAllocHarness(t *testing.T, workers int) *allocHarness {
+	t.Helper()
+	h := &allocHarness{
+		jobs:    make(chan func(*Ctx)),
+		jobDone: make(chan struct{}),
+		runDone: make(chan struct{}),
+	}
+	rt := New(Config{Workers: workers, Seed: 701})
+	go func() {
+		defer close(h.runDone)
+		rt.Run(func(c *Ctx) {
+			for f := range h.jobs {
+				f(c)
+				h.jobDone <- struct{}{}
+			}
+		})
+	}()
+	t.Cleanup(func() {
+		close(h.jobs)
+		<-h.runDone
+	})
+	return h
+}
+
+// do runs f as (part of) the root task and waits for it.
+func (h *allocHarness) do(f func(*Ctx)) {
+	h.jobs <- f
+	<-h.jobDone
+}
+
+func nopBranch(*Ctx)    {}
+func nopIter(*Ctx, int) {}
+func skipIfRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}
+
+func TestForkFastPathZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	h := startAllocHarness(t, 1)
+	var got float64
+	h.do(func(c *Ctx) {
+		c.Fork(nopBranch, nopBranch) // warm the task free list
+		got = testing.AllocsPerRun(200, func() {
+			c.Fork(nopBranch, nopBranch)
+		})
+	})
+	if got != 0 {
+		t.Fatalf("un-stolen Fork allocates %v objects/op, want 0", got)
+	}
+}
+
+func TestForZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	h := startAllocHarness(t, 1)
+	var got float64
+	h.do(func(c *Ctx) {
+		c.For(0, 256, 4, nopIter) // warm the task free list
+		got = testing.AllocsPerRun(50, func() {
+			c.For(0, 256, 4, nopIter)
+		})
+	})
+	if got != 0 {
+		t.Fatalf("For allocates %v objects/op, want 0", got)
+	}
+}
+
+// allocFreeDS is a minimal batched structure whose BOP allocates nothing.
+type allocFreeDS struct{ total int64 }
+
+func (d *allocFreeDS) RunBatch(_ *Ctx, ops []*OpRecord) {
+	for _, op := range ops {
+		d.total += op.Val
+		op.Res = d.total
+		op.Ok = true
+	}
+}
+
+func TestBatchifyRoundTripZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	h := startAllocHarness(t, 1)
+	ds := &allocFreeDS{}
+	var got float64
+	h.do(func(c *Ctx) {
+		op := c.Op()
+		*op = OpRecord{DS: ds, Val: 1}
+		c.Batchify(op) // warm the launch-task pool and batch scratch
+		got = testing.AllocsPerRun(200, func() {
+			op := c.Op()
+			*op = OpRecord{DS: ds, Val: 1}
+			c.Batchify(op)
+		})
+	})
+	if got != 0 {
+		t.Fatalf("Batchify+LaunchBatch allocates %v objects/op, want 0", got)
+	}
+	if ds.total == 0 {
+		t.Fatal("batched operations did not run")
+	}
+}

@@ -14,7 +14,8 @@ type OpKind int32
 // are outputs, with Aux as an escape hatch for structures whose payloads
 // do not fit in two integers. Records are owned by the calling task until
 // Batchify returns, then again by the caller; the data structure may read
-// and write them freely while its batch executes.
+// and write them freely while its batch executes. Hot paths obtain a
+// reusable record from Ctx.Op instead of allocating one per operation.
 type OpRecord struct {
 	// DS is the target data structure; the scheduler groups a batch's
 	// records by DS and invokes each structure's RunBatch on its group.
@@ -73,7 +74,7 @@ func (c *Ctx) Batchify(op *OpRecord) {
 	// Publish the record, then the status. Both stores are sequentially
 	// consistent atomics, so a launcher that observes status==pending also
 	// observes the record.
-	rt.pending[w.id].Store(op)
+	rt.pending[w.id].rec.Store(op)
 	w.status.Store(int32(StatusPending))
 	w.m.OpsSubmitted++
 
@@ -91,61 +92,107 @@ func (c *Ctx) Batchify(op *OpRecord) {
 		if rt.batchFlag.Load() == 0 && rt.batchFlag.CompareAndSwap(0, 1) {
 			// We are the launcher: inject LaunchBatch at the bottom of our
 			// batch deque and let the normal loop execute it (so that its
-			// parallel setup/cleanup is itself stealable batch work).
+			// parallel setup/cleanup is itself stealable batch work). The
+			// task is detached — nobody joins on it — so whichever worker
+			// runs it recycles the frame (recycleAfterRun).
 			w.m.BatchesLaunched++
-			j := &join{}
-			j.pending.Store(1)
-			w.batch.PushBottom(&Task{
-				fn:   rt.launchBatchBody,
-				join: j,
-				kind: KindBatch,
-			})
+			lt := w.getTask()
+			lt.fn = rt.launchFn
+			lt.kind = KindBatch
+			lt.recycleAfterRun = true
+			w.batch.PushBottom(lt)
+			rt.idle.wake()
 			continue
 		}
 		if !w.stealAndRun(true) {
-			w.backoff()
+			w.idleTrapped()
 		}
 	}
 }
 
+// batchScratch holds the per-runtime buffers LaunchBatch works out of,
+// allocated once in New and reused for every batch. Reuse is legal
+// because Invariant 1 serializes batches and the batch flag's
+// reset-then-CAS pair orders one batch's accesses before the next's (see
+// DESIGN.md §7). The loop bodies are pre-bound closures over the runtime
+// so that the parallel steps of LaunchBatch allocate nothing per batch.
+type batchScratch struct {
+	// claimed[i] is worker i's acknowledged record, or nil; every slot is
+	// written unconditionally each batch, so no clearing pass is needed.
+	claimed []*OpRecord
+	// working is the compacted working set (capacity P, never grows).
+	working []*OpRecord
+	// groups partitions working by target structure; opsBuf provides the
+	// backing storage for the groups' ops slices (both capacity P).
+	groups []dsGroup
+	opsBuf []*OpRecord
+
+	ackBody   func(*Ctx, int) // step 1: pending -> executing, collect
+	groupBody func(*Ctx, int) // step 3: run one group's BOP
+	doneBody  func(*Ctx, int) // step 4: executing -> done
+}
+
+func (s *batchScratch) init(rt *Runtime) {
+	nw := len(rt.workers)
+	s.claimed = make([]*OpRecord, nw)
+	s.working = make([]*OpRecord, 0, nw)
+	s.groups = make([]dsGroup, 0, nw)
+	s.opsBuf = make([]*OpRecord, 0, nw)
+	s.ackBody = func(_ *Ctx, i int) {
+		wi := rt.workers[i]
+		if wi.status.CompareAndSwap(int32(StatusPending), int32(StatusExecuting)) {
+			rec := rt.pending[i].rec.Swap(nil)
+			if rec == nil {
+				panic("sched: worker pending with empty pending slot")
+			}
+			s.claimed[i] = rec
+		} else {
+			s.claimed[i] = nil
+		}
+	}
+	s.groupBody = func(cc *Ctx, i int) {
+		g := &s.groups[i]
+		g.ds.RunBatch(cc, g.ops)
+	}
+	s.doneBody = func(_ *Ctx, i int) {
+		op := s.working[i]
+		rt.workers[op.worker].status.Store(int32(StatusDone))
+	}
+}
+
 // launchBatchBody is the LaunchBatch procedure of Figure 4. It runs as an
-// ordinary batch-dag task on whichever workers steal into it.
+// ordinary batch-dag task on whichever workers steal into it, working out
+// of rt.scratch.
 func (rt *Runtime) launchBatchBody(c *Ctx) {
 	nw := len(rt.workers)
 	rt.batchesActive.Add(1)
 	if got := rt.batchesActive.Load(); got != 1 {
 		panic("sched: Invariant 1 violated: more than one batch active")
 	}
+	s := &rt.scratch
 
 	// Step 1: acknowledge pending records (pending -> executing) and
 	// collect them. The status flips run as a parallel loop, as in the
 	// paper; grain keeps tiny P from drowning in fork overhead.
-	claimed := make([]*OpRecord, nw)
-	c.For(0, nw, 8, func(_ *Ctx, i int) {
-		wi := rt.workers[i]
-		if wi.status.CompareAndSwap(int32(StatusPending), int32(StatusExecuting)) {
-			claimed[i] = rt.pending[i].Swap(nil)
-			if claimed[i] == nil {
-				panic("sched: worker pending with empty pending slot")
-			}
-		}
-	})
+	c.For(0, nw, 8, s.ackBody)
 
 	// Step 2: compact the claimed records into the working set. The
 	// paper's prototype performs this step sequentially on small P
 	// (Section 7); we do the same — it is Θ(P) work either way.
-	working := make([]*OpRecord, 0, nw)
-	for _, op := range claimed {
+	working := s.working[:0]
+	for _, op := range s.claimed {
 		if op != nil {
 			working = append(working, op)
 		}
 	}
+	s.working = working
 	if len(working) == 0 {
 		// Possible: the flag was CASed by a worker whose own record was
 		// consumed by the immediately preceding batch between its flag
 		// check and the launch executing. Nothing to do.
 		rt.batchesActive.Add(-1)
 		rt.batchFlag.Store(0)
+		rt.idle.wake()
 		return
 	}
 	if len(working) > nw {
@@ -153,11 +200,16 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	}
 
 	// Step 3: execute the BOP on the working set. Records may target
-	// different structures; group by structure and run each group as its
-	// own batch dag. Groups run in parallel with one another — each
-	// structure still sees at most one batch at a time.
-	groups := groupByDS(working)
-	runGroups(c, groups)
+	// different structures; group by structure (into scratch, no
+	// allocation) and run the groups as a parallel loop — each structure
+	// still sees at most one batch at a time.
+	s.groupWorking()
+	if len(s.groups) == 1 {
+		g := &s.groups[0]
+		g.ds.RunBatch(c, g.ops)
+	} else {
+		c.For(0, len(s.groups), 1, s.groupBody)
+	}
 
 	// Record metrics before waking participants.
 	c.w.m.BatchesExecuted++
@@ -165,14 +217,43 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 
 	// Step 4: mark participants done (executing -> done). Participants
 	// cannot have changed status themselves, so plain stores suffice.
-	c.For(0, len(working), 8, func(_ *Ctx, i int) {
-		op := working[i]
-		rt.workers[op.worker].status.Store(int32(StatusDone))
-	})
+	c.For(0, len(working), 8, s.doneBody)
 
-	// Step 5: reset the global batch-status flag.
+	// Step 5: reset the global batch-status flag, then wake parked
+	// workers: the status stores above and the flag reset precede this
+	// wake, so a trapped worker either parks before it (and is woken) or
+	// re-checks after it (and observes done / flag clear).
 	rt.batchesActive.Add(-1)
 	rt.batchFlag.Store(0)
+	rt.idle.wake()
+}
+
+// groupWorking partitions s.working by target structure into s.groups,
+// with s.opsBuf as backing storage for the per-group slices. The double
+// scan is O(|working|²) in the worst case, but |working| <= P and the
+// common case is a single structure. Group order follows first
+// appearance; order within a group follows compaction order.
+func (s *batchScratch) groupWorking() {
+	groups := s.groups[:0]
+	buf := s.opsBuf[:0]
+outer:
+	for wi, op := range s.working {
+		for gi := range groups {
+			if groups[gi].ds == op.DS {
+				continue outer // structure already grouped
+			}
+		}
+		start := len(buf)
+		buf = append(buf, op)
+		for _, later := range s.working[wi+1:] {
+			if later.DS == op.DS {
+				buf = append(buf, later)
+			}
+		}
+		groups = append(groups, dsGroup{ds: op.DS, ops: buf[start:len(buf):len(buf)]})
+	}
+	s.groups = groups
+	s.opsBuf = buf
 }
 
 // dsGroup is one structure's slice of a batch's working set.
@@ -183,7 +264,9 @@ type dsGroup struct {
 
 // groupByDS partitions the working set by target structure, preserving
 // the (arbitrary) compaction order within each group. P is small, so a
-// linear scan with a tiny association list beats a map allocation.
+// linear scan with a tiny association list beats a map allocation. It is
+// the allocating cousin of batchScratch.groupWorking, used by Server,
+// whose batches are not bounded by Invariant 2.
 func groupByDS(working []*OpRecord) []dsGroup {
 	groups := make([]dsGroup, 0, 2)
 outer:
@@ -200,7 +283,8 @@ outer:
 }
 
 // runGroups executes each group's RunBatch, in parallel across groups via
-// binary forking.
+// binary forking. Used by Server; the scheduler's own LaunchBatch uses
+// the scratch-based loop above.
 func runGroups(c *Ctx, groups []dsGroup) {
 	switch len(groups) {
 	case 0:

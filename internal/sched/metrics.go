@@ -25,6 +25,9 @@ type WorkerMetrics struct {
 	SuccessfulSteals int64
 	// FailedSteals counts attempts that found nothing (or lost a race).
 	FailedSteals int64
+	// Parks counts times this worker parked after exhausting its idle
+	// spin budget (see the waker in waker.go).
+	Parks int64
 }
 
 // Metrics aggregates WorkerMetrics across workers.
@@ -44,6 +47,7 @@ func (m *Metrics) add(wm *WorkerMetrics) {
 	m.TrappedStealAttempts += wm.TrappedStealAttempts
 	m.SuccessfulSteals += wm.SuccessfulSteals
 	m.FailedSteals += wm.FailedSteals
+	m.Parks += wm.Parks
 }
 
 // MeanBatchSize returns the average number of operations per executed
@@ -59,10 +63,10 @@ func (m *Metrics) MeanBatchSize() float64 {
 // experiment logs.
 func (m *Metrics) String() string {
 	return fmt.Sprintf(
-		"P=%d tasks=%d ops=%d batches=%d meanBatch=%.2f steals(free=%d trapped=%d ok=%d fail=%d)",
+		"P=%d tasks=%d ops=%d batches=%d meanBatch=%.2f steals(free=%d trapped=%d ok=%d fail=%d) parks=%d",
 		m.Workers, m.TasksRun, m.OpsSubmitted, m.BatchesExecuted,
 		m.MeanBatchSize(), m.FreeStealAttempts, m.TrappedStealAttempts,
-		m.SuccessfulSteals, m.FailedSteals)
+		m.SuccessfulSteals, m.FailedSteals, m.Parks)
 }
 
 // Metrics returns counters aggregated across workers. Call only while no

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// regression tests skip under -race: instrumentation changes allocation
+// behavior in ways that are not regressions.
+const raceEnabled = false

@@ -32,6 +32,13 @@
 // the worker processes batch work, and control returns to it when the
 // status flips to done. This preserves the paper's semantics — the worker
 // that encounters a data-structure node is the worker that resumes it.
+//
+// The steady-state hot paths (Fork, For, Batchify, LaunchBatch) are
+// allocation-free: task frames are recycled through per-worker free
+// lists, parallel loops are expressed as range descriptors rather than
+// closures, each worker owns a reusable operation record (Ctx.Op), and
+// LaunchBatch works out of per-runtime scratch buffers. See DESIGN.md
+// §7 for the safety argument.
 package sched
 
 import (
@@ -87,12 +94,34 @@ func (s Status) String() string {
 	return "invalid"
 }
 
-// Task is a unit of schedulable work: a closure plus the join counter it
-// reports completion to and the deque kind it must be scheduled on.
+// Task is a unit of schedulable work: either a closure (fn != nil) or a
+// parallel-loop range descriptor (fn == nil: run body(i) for i in
+// [lo, hi), splitting down to grain). Loop tasks exist so that Ctx.For
+// needs no per-split closure allocations. Tasks are recycled through
+// per-worker free lists; ownJoin backs join for every pooled task, so a
+// fork costs no allocation at all in steady state.
 type Task struct {
 	fn   func(*Ctx)
 	join *join
 	kind Kind
+
+	// Loop-task fields, meaningful when fn == nil.
+	body          func(*Ctx, int)
+	lo, hi, grain int
+
+	// ownJoin is the completion counter for pooled tasks (the root task
+	// of a Run uses a separate join carrying a wake channel).
+	ownJoin join
+
+	// recycleAfterRun marks detached tasks nobody joins on (the
+	// LaunchBatch injection): the worker that runs one returns it to its
+	// own free list. Forked tasks are instead reclaimed by the forker
+	// once the join clears.
+	recycleAfterRun bool
+
+	// next links the task into a per-worker free list, and doubles as
+	// the pending-join chain during Ctx.For (a task is never in both).
+	next *Task
 }
 
 // join is a fork-join completion counter. done may be non-nil for the
@@ -140,19 +169,50 @@ const (
 	RandomDequeSteal
 )
 
+// cacheLinePad is the padding unit separating hot shared fields: 128
+// bytes — two 64-byte lines — so that the adjacent-line prefetcher
+// cannot couple neighboring fields either.
+const cacheLinePad = 128
+
+// paddedPending is one worker's slot in the global pending array, padded
+// so that publishing an operation record never invalidates a neighbor
+// worker's slot.
+type paddedPending struct {
+	rec atomic.Pointer[OpRecord]
+	_   [cacheLinePad - 8]byte
+}
+
 // Runtime is a P-worker BATCHER scheduler instance. Create with New, then
 // call Run with a root function; Run may be called repeatedly (serially).
 type Runtime struct {
 	cfg     Config
 	workers []*worker
 
+	_ [cacheLinePad]byte
+
 	// batchFlag is the global batch-status flag: 1 while a batch is
 	// executing (between a successful launch CAS and LaunchBatch's final
-	// reset), 0 otherwise.
+	// reset), 0 otherwise. Every trapped worker CASes it, so it gets its
+	// own padded region.
 	batchFlag atomic.Int32
 
+	_ [cacheLinePad - 4]byte
+
 	// pending is the size-P pending array; pending[i] is worker i's slot.
-	pending []atomic.Pointer[OpRecord]
+	pending []paddedPending
+
+	// idle parks workers that cannot find work and wakes them when work
+	// may have appeared.
+	idle waker
+
+	// scratch holds the per-runtime LaunchBatch buffers, reused across
+	// batches (safe: Invariant 1 serializes batches, and the batch-flag
+	// CAS/reset pair orders one batch's writes before the next's reads).
+	scratch batchScratch
+
+	// launchFn is the LaunchBatch body bound once at construction, so
+	// injecting a batch launch does not allocate a method value.
+	launchFn func(*Ctx)
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -190,6 +250,7 @@ func (rt *Runtime) recordPanic(v any) {
 	}
 	rt.panicMu.Unlock()
 	rt.aborting.Store(true)
+	rt.idle.wake()
 }
 
 // checkAbort unwinds the calling worker's stack if the runtime is
@@ -208,22 +269,29 @@ func New(cfg Config) *Runtime {
 	}
 	rt := &Runtime{
 		cfg:     cfg,
-		pending: make([]atomic.Pointer[OpRecord], cfg.Workers),
+		pending: make([]paddedPending, cfg.Workers),
 	}
+	rt.idle.init()
+	rt.launchFn = rt.launchBatchBody
 	rt.workers = make([]*worker, cfg.Workers)
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
 	for i := range rt.workers {
-		rt.workers[i] = &worker{
+		w := &worker{
 			id:    i,
 			rt:    rt,
 			core:  deque.New[Task](),
 			batch: deque.New[Task](),
 			rng:   rng.New(seed + uint64(i)*0x2545f4914f6cdd1d),
 		}
+		w.ctxs[KindCore] = Ctx{w: w, kind: KindCore}
+		w.ctxs[KindBatch] = Ctx{w: w, kind: KindBatch}
+		rt.workers[i] = w
 	}
+	// scratch sizes itself from rt.workers, so init it last.
+	rt.scratch.init(rt)
 	return rt
 }
 
@@ -250,6 +318,7 @@ func (rt *Runtime) Run(root func(*Ctx)) {
 	}
 	<-j.done
 	rt.stop.Store(true)
+	rt.idle.wake()
 	rt.wg.Wait()
 
 	if rt.aborting.Load() {
@@ -263,13 +332,21 @@ func (rt *Runtime) Run(root func(*Ctx)) {
 		panic("sched: batch flag set after Run completed")
 	}
 	for i := range rt.pending {
-		if rt.pending[i].Load() != nil {
+		if rt.pending[i].rec.Load() != nil {
 			panic("sched: pending record left after Run completed")
 		}
 	}
 }
 
-// worker is one of the P scheduler workers.
+// maxFreeTasks caps a worker's task free list; beyond it, retired tasks
+// are dropped for the garbage collector. The cap only exists to bound
+// memory on pathologically deep programs — steady-state fork-join reuses
+// a handful of frames per worker.
+const maxFreeTasks = 256
+
+// worker is one of the P scheduler workers. Hot cross-worker fields
+// (status, metrics) are padded so that one worker's state transitions do
+// not invalidate cache lines its neighbors are spinning on.
 type worker struct {
 	id    int
 	rt    *Runtime
@@ -277,17 +354,71 @@ type worker struct {
 	batch *deque.Deque[Task]
 	rng   *rng.Rand
 
-	// status is the work-status flag, read by LaunchBatch on any worker.
-	status atomic.Int32
+	// ctxs are the two reusable task contexts (core and batch). A Ctx is
+	// immutable after construction, so every task of a given kind on
+	// this worker shares the same one and task execution allocates
+	// nothing.
+	ctxs [2]Ctx
 
 	// stealK counts steal attempts for the alternating policy.
 	stealK uint64
 
-	// backoffFails counts consecutive failed steal attempts, to pace
-	// spinning (this host may have fewer CPUs than workers).
-	backoffFails int
+	// idleFails counts consecutive failed attempts to find work, pacing
+	// the spin-then-park idle policy.
+	idleFails int
+
+	// freeTasks heads the singly-linked task free list (owner-only, so
+	// no synchronization), freeN its length.
+	freeTasks *Task
+	freeN     int
+
+	// opRec is the worker's reusable operation record, handed out by
+	// Ctx.Op. A worker has at most one outstanding Batchify at a time
+	// (it traps until the operation completes), so one record suffices.
+	opRec OpRecord
+
+	_ [cacheLinePad]byte
+
+	// status is the work-status flag, read by LaunchBatch on any worker
+	// and CASed during batch acknowledgement; it sits alone in its own
+	// padded region.
+	status atomic.Int32
+
+	_ [cacheLinePad - 4]byte
 
 	m WorkerMetrics
+
+	_ [cacheLinePad]byte
+}
+
+// getTask takes a task frame from the worker's free list, or allocates
+// one if the list is empty (cold starts and steal-heavy phases only).
+func (w *worker) getTask() *Task {
+	t := w.freeTasks
+	if t == nil {
+		return new(Task)
+	}
+	w.freeTasks = t.next
+	w.freeN--
+	t.next = nil
+	return t
+}
+
+// putTask retires a completed task frame to the free list. Only the
+// worker that owns the frame's lifecycle may call it: the forker after
+// the join clears, or the runner of a recycleAfterRun task. References
+// are dropped so pooled frames do not pin closures for the GC.
+func (w *worker) putTask(t *Task) {
+	if w.freeN >= maxFreeTasks {
+		return
+	}
+	t.fn = nil
+	t.body = nil
+	t.join = nil
+	t.recycleAfterRun = false
+	t.next = w.freeTasks
+	w.freeTasks = t
+	w.freeN++
 }
 
 func (w *worker) dequeFor(k Kind) *deque.Deque[Task] {
@@ -314,7 +445,7 @@ func (w *worker) loop() {
 			continue
 		}
 		if !w.stealAndRun(false) {
-			w.backoff()
+			w.idleFree()
 		}
 	}
 }
@@ -331,6 +462,22 @@ var testHookTaskRun func(kind Kind, status Status)
 // waiting on joins that will never complete; the join is finished either
 // way so waiters unblock.
 func (w *worker) runTask(t *Task) {
+	// recycleAfterRun must be read before the join is finished: once it
+	// is, the forker may reclaim and rewrite the frame concurrently.
+	recycle := t.recycleAfterRun
+	w.idleFails = 0
+	w.execTask(t)
+	// The join (if any) has now been finished; a worker parked at that
+	// join must hear about it.
+	w.rt.idle.wake()
+	if recycle {
+		w.putTask(t)
+	}
+}
+
+// execTask is runTask's body; it exists so that the join finish and
+// panic recovery (deferred) complete before runTask's wake/recycle.
+func (w *worker) execTask(t *Task) {
 	w.m.TasksRun++
 	if testHookTaskRun != nil {
 		testHookTaskRun(t.kind, Status(w.status.Load()))
@@ -343,8 +490,12 @@ func (w *worker) runTask(t *Task) {
 			}
 		}
 	}()
-	ctx := Ctx{w: w, kind: t.kind}
-	t.fn(&ctx)
+	ctx := &w.ctxs[t.kind]
+	if t.fn != nil {
+		t.fn(ctx)
+	} else {
+		ctx.forRange(t.lo, t.hi, t.grain, t.body)
+	}
 }
 
 // stealAndRun makes one steal attempt and runs the stolen task if any.
@@ -352,7 +503,7 @@ func (w *worker) runTask(t *Task) {
 // paper's rules: trapped workers steal only from batch deques; free
 // workers follow the configured policy (alternating by default).
 // batchOnly additionally restricts the attempt to batch deques, used by
-// workers waiting at joins inside batch tasks (see helpWhileWaiting).
+// workers waiting at joins inside batch tasks (see helpOnce).
 func (w *worker) stealAndRun(batchOnly bool) bool {
 	t := w.stealOnce(batchOnly)
 	if t == nil {
@@ -369,10 +520,13 @@ func (w *worker) stealOnce(batchOnly bool) *Task {
 		w.m.FailedSteals++
 		return nil
 	}
-	victim := rt.workers[w.rng.Intn(len(rt.workers))]
-	if victim == w {
-		victim = rt.workers[(victim.id+1)%len(rt.workers)]
+	// Draw uniformly over the other P-1 workers. (Remapping a self-pick
+	// to a fixed neighbor would double that neighbor's odds.)
+	v := w.rng.Intn(len(rt.workers) - 1)
+	if v >= w.id {
+		v++
 	}
+	victim := rt.workers[v]
 
 	var d *deque.Deque[Task]
 	trapped := !w.isFree()
@@ -412,22 +566,112 @@ func (w *worker) stealOnce(batchOnly bool) *Task {
 		return nil
 	}
 	w.m.SuccessfulSteals++
-	w.backoffFails = 0
 	return t
 }
 
-// backoff paces a worker that failed to find work. The runtime may have
-// more workers than physical CPUs (this repository's experiments run on a
-// single-CPU host), so failed thieves must yield aggressively or they
-// starve the workers holding actual work.
-func (w *worker) backoff() {
-	w.backoffFails++
+// Idle pacing: a worker that failed to find work spins briefly (yielding
+// the CPU — the host may run fewer CPUs than workers), then parks on the
+// runtime's waker until an event that could produce work for it. Each
+// idle* variant re-checks the conditions that must wake its caller after
+// registering as parked, which the waker protocol requires.
+const (
+	// idleSpinYield failed attempts are plain scheduler yields.
+	idleSpinYield = 8
+	// idleSpinSleep failed attempts (beyond the yields) sleep a
+	// microsecond, letting randomized victim selection decorrelate.
+	idleSpinSleep = 32
+	// After a park wakes, resume spinning at this level so a worker that
+	// finds nothing re-parks quickly instead of burning a full ladder.
+	idleResume = idleSpinYield
+)
+
+// spin performs one pre-park pacing step and reports whether the caller
+// should now attempt to park.
+func (w *worker) spin() bool {
+	w.idleFails++
 	switch {
-	case w.backoffFails < 4:
+	case w.idleFails < idleSpinYield:
 		goruntime.Gosched()
-	case w.backoffFails < 64:
+		return false
+	case w.idleFails < idleSpinSleep:
 		time.Sleep(time.Microsecond)
-	default:
-		time.Sleep(50 * time.Microsecond)
+		return false
 	}
+	return true
+}
+
+// victimsHaveWork scans every other worker's deques (batch deques only
+// when batchOnly). It runs only on the park path, where an O(P) sweep is
+// cheap insurance against sleeping through work that random victim
+// selection happened to miss.
+func (w *worker) victimsHaveWork(batchOnly bool) bool {
+	for _, v := range w.rt.workers {
+		if v == w {
+			continue
+		}
+		if !v.batch.Empty() {
+			return true
+		}
+		if !batchOnly && !v.core.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// idleFree paces a free worker in the main loop that found nothing to
+// run or steal.
+func (w *worker) idleFree() {
+	if !w.spin() {
+		return
+	}
+	rt := w.rt
+	epoch := rt.idle.beginPark()
+	if rt.stop.Load() || rt.aborting.Load() ||
+		!w.batch.Empty() || !w.core.Empty() || w.victimsHaveWork(false) {
+		rt.idle.cancelPark()
+		return
+	}
+	w.m.Parks++
+	rt.idle.sleep(epoch)
+	w.idleFails = idleResume
+}
+
+// idleAtJoin paces a worker waiting at j inside a task of the given kind
+// (see helpOnce for what such a worker may legally run).
+func (w *worker) idleAtJoin(j *join, kind Kind) {
+	if !w.spin() {
+		return
+	}
+	rt := w.rt
+	coreOK := kind == KindCore && w.isFree()
+	epoch := rt.idle.beginPark()
+	if j.pending.Load() == 0 || rt.aborting.Load() ||
+		!w.batch.Empty() || (coreOK && !w.core.Empty()) ||
+		w.victimsHaveWork(!coreOK) {
+		rt.idle.cancelPark()
+		return
+	}
+	w.m.Parks++
+	rt.idle.sleep(epoch)
+	w.idleFails = idleResume
+}
+
+// idleTrapped paces a trapped worker in the Batchify loop: it must wake
+// for batch work, for its own status turning done, and for the batch
+// flag resetting (so it can launch).
+func (w *worker) idleTrapped() {
+	if !w.spin() {
+		return
+	}
+	rt := w.rt
+	epoch := rt.idle.beginPark()
+	if Status(w.status.Load()) == StatusDone || rt.aborting.Load() ||
+		rt.batchFlag.Load() == 0 || !w.batch.Empty() || w.victimsHaveWork(true) {
+		rt.idle.cancelPark()
+		return
+	}
+	w.m.Parks++
+	rt.idle.sleep(epoch)
+	w.idleFails = idleResume
 }

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// waker implements the adaptive spin-then-park idle policy. A worker
+// that has repeatedly failed to find work registers itself as parked and
+// sleeps on a condition variable; any event that could create runnable
+// work for some worker — a task push, a join completing, a work-status
+// flag flipping to done, the global batch flag resetting, shutdown or
+// abort — calls wake, which is a single atomic load when nobody is
+// parked (the common case, so producers pay nothing on the hot path).
+//
+// The protocol is lost-wakeup-free: a would-be sleeper calls beginPark
+// (incrementing parked), reads the epoch, and only then re-checks its
+// wake conditions; a producer publishes work and only then loads parked.
+// Go's sync/atomic operations are sequentially consistent, so in every
+// interleaving either the producer observes parked > 0 (and bumps the
+// epoch under the same mutex the sleeper waits on) or the sleeper's
+// re-check observes the published work.
+type waker struct {
+	// seq is the wake epoch, bumped on every wake that found parked
+	// workers. Sleepers re-check it under mu, so a bump between
+	// beginPark and sleep turns the sleep into a no-op.
+	seq atomic.Uint64
+	// parked counts workers parked or committed to parking.
+	parked atomic.Int32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (k *waker) init() { k.cond = sync.NewCond(&k.mu) }
+
+// wake is called after publishing any event that might unblock a waiting
+// worker. It costs one atomic load unless workers are actually parked.
+func (k *waker) wake() {
+	if k.parked.Load() != 0 {
+		k.seq.Add(1)
+		k.mu.Lock()
+		k.cond.Broadcast()
+		k.mu.Unlock()
+	}
+}
+
+// beginPark registers the caller as parking and returns the wake epoch.
+// The caller must re-check its wake conditions after beginPark and then
+// either cancelPark (work appeared) or sleep (nothing to do).
+func (k *waker) beginPark() uint64 {
+	k.parked.Add(1)
+	return k.seq.Load()
+}
+
+// cancelPark retracts a beginPark whose re-check found work.
+func (k *waker) cancelPark() { k.parked.Add(-1) }
+
+// sleep blocks until the wake epoch advances past the one observed by
+// beginPark. Spurious returns are fine: every park site loops and
+// re-checks its conditions.
+func (k *waker) sleep(epoch uint64) {
+	k.mu.Lock()
+	for k.seq.Load() == epoch {
+		k.cond.Wait()
+	}
+	k.mu.Unlock()
+	k.parked.Add(-1)
+}
