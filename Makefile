@@ -1,6 +1,6 @@
 # Development targets. Everything is stdlib-only; `go` >= 1.22 suffices.
 
-.PHONY: all build vet test race bench bench-json lab lab-quick examples cover fuzz
+.PHONY: all build vet test race bench bench-json bench-server lab lab-quick examples cover fuzz
 
 all: build vet test
 
@@ -26,6 +26,14 @@ bench-json:
 	go test -run '^$$' -bench 'Fig5Real|CounterReal|RuntimeForkJoin|BatchifyRoundTrip|ServerThroughput' \
 		-benchmem $(BENCH_ARGS) . | go run ./cmd/batcherlab benchjson -o BENCH_sched.json
 
+# End-to-end serving benchmark (batcherd over loopback TCP) ->
+# BENCH_server.json. Appends one JSONL line per run so the file keeps a
+# trajectory instead of being overwritten.
+SERVER_BENCH_ARGS ?= -benchtime=2000x -count=1
+bench-server:
+	go test -run '^$$' -bench 'ServerLoopback' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
+		| go run ./cmd/batcherlab benchjson -append -o BENCH_server.json
+
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).
 lab:
 	go run ./cmd/batcherlab all
@@ -41,6 +49,7 @@ examples:
 	go run ./examples/goroutines
 	go run ./examples/boruvka
 	go run ./examples/simscaling
+	go run ./examples/netclient
 
 cover:
 	go test -cover ./internal/...

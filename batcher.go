@@ -78,17 +78,43 @@ const (
 // Server is the standalone batching service for programs not written
 // against the fork-join runtime (the paper's Section 8 "pthreaded
 // programs" extension): any goroutine may Invoke operations, and the
-// scheduler's workers execute the batches.
+// scheduler's workers execute the batches. Server.Close is idempotent:
+// repeated or concurrent calls are safe and all wait for the drain.
 type Server = sched.Server
 
 // ServerConfig configures a Server.
 type ServerConfig = sched.ServerConfig
+
+// Pump is the external-submission entry point used by the batcherd
+// serving layer: goroutines outside the fork-join computation Submit
+// operation records, and one resident pump task per worker feeds them
+// through Ctx.Batchify, so concurrent submissions batch implicitly
+// exactly as concurrent fork-join strands do. Pump.Close is idempotent
+// (double-stop never panics) and drains every accepted operation before
+// Serve returns.
+type Pump = sched.Pump
+
+// PumpConfig configures a Pump.
+type PumpConfig = sched.PumpConfig
+
+// Pump submission errors.
+var (
+	// ErrPumpClosed reports a Submit after Close.
+	ErrPumpClosed = sched.ErrPumpClosed
+	// ErrPumpSaturated reports a Submit that found the ingress queue
+	// full (the backpressure signal).
+	ErrPumpSaturated = sched.ErrPumpSaturated
+)
 
 // New creates a runtime with the given configuration.
 func New(cfg Config) *Runtime { return sched.New(cfg) }
 
 // NewServer starts a standalone batching server.
 func NewServer(cfg ServerConfig) *Server { return sched.NewServer(cfg) }
+
+// NewPump creates an external-submission pump over rt; start it with
+// Serve and stop it with Close.
+func NewPump(rt *Runtime, cfg PumpConfig) *Pump { return sched.NewPump(rt, cfg) }
 
 // Run is a convenience that creates a default runtime and executes root
 // to completion.

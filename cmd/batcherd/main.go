@@ -1,0 +1,150 @@
+// Command batcherd serves the repository's batched data structures over
+// TCP, extending implicit batching to the network edge: operations
+// decoded from client connections are fed through the scheduler's pump
+// and coalesce into batches via the pending array, exactly as
+// fork-join strands do. See internal/server for the wire protocol and
+// DESIGN.md §8 for why the paper's invariants survive the trip.
+//
+// Usage:
+//
+//	batcherd serve [-addr :7411] [-workers N] [-window 32] [-queue N]
+//	    Run the server until SIGINT/SIGTERM, then drain gracefully.
+//
+//	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
+//	              [-read 0.5] [-window 16] [-rate 0] [-keyspace 65536]
+//	    Drive a workload at a running server and report throughput and
+//	    latency percentiles, then print the server's stats document.
+//
+//	batcherd stats [-addr host:7411]
+//	    Fetch and print the server's stats document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serveCmd(os.Args[2:])
+	case "load":
+		loadCmd(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: batcherd {serve|load|stats} [flags]; see batcherd <cmd> -h")
+	os.Exit(2)
+}
+
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers (P)")
+	window := fs.Int("window", 32, "per-connection in-flight window")
+	queue := fs.Int("queue", 0, "pump ingress queue capacity (0 = 8×P)")
+	seed := fs.Uint64("seed", 20140623, "seed for the hashed structures")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	fs.Parse(args)
+
+	s, err := server.Start(server.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		Seed:         *seed,
+		QueueCap:     *queue,
+		Window:       *window,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batcherd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", s)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("batcherd: draining...")
+	s.Shutdown()
+	st := s.Snapshot()
+	fmt.Printf("batcherd: served %d ops in %d batches (mean %.2f), %d rejected\n",
+		st.BatchedOps, st.Batches, st.MeanBatch, st.Rejected)
+}
+
+func loadCmd(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "server address")
+	conns := fs.Int("conns", 64, "concurrent connections")
+	ops := fs.Int("ops", 1000, "operations per connection")
+	dsName := fs.String("ds", "skiplist", "target structure: counter|skiplist|tree23|hashmap")
+	read := fs.Float64("read", 0.5, "fraction of lookups (rest are inserts)")
+	window := fs.Int("window", 16, "closed-loop pipelining depth per connection")
+	rate := fs.Float64("rate", 0, "open-loop aggregate ops/s (0 = closed-loop)")
+	keyspace := fs.Int64("keyspace", 1<<16, "key range")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	fs.Parse(args)
+
+	ds, ok := map[string]uint8{
+		"counter":  server.DSCounter,
+		"skiplist": server.DSSkiplist,
+		"tree23":   server.DSTree23,
+		"hashmap":  server.DSHashmap,
+	}[*dsName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "batcherd: unknown structure %q\n", *dsName)
+		os.Exit(2)
+	}
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr: *addr, Conns: *conns, Ops: *ops, Window: *window,
+		RatePerSec: *rate, DS: ds, ReadFrac: *read,
+		KeySpace: *keyspace, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batcherd: load: %v (partial: %v)\n", err, res)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	printStats(*addr)
+}
+
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "server address")
+	fs.Parse(args)
+	printStats(*addr)
+}
+
+func printStats(addr string) {
+	c, err := loadgen.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batcherd: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batcherd: stats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("server: P=%d uptime=%.1fs conns=%d\n", st.Workers, st.UptimeSec, st.Conns)
+	fmt.Printf("ops:    accepted=%d rejected=%d completed=%d (%.0f ops/s)\n",
+		st.Accepted, st.Rejected, st.Completed, st.OpsPerSec)
+	fmt.Printf("batch:  %d batches, %d ops, mean size %.2f, queue depth %d\n",
+		st.Batches, st.BatchedOps, st.MeanBatch, st.QueueDepth)
+}

@@ -16,7 +16,9 @@ import (
 // to {ns_per_op, bytes_per_op, allocs_per_op, iterations}, written to
 // stdout or the file named by -o. It exists so that `make bench-json`
 // can record the scheduler's perf trajectory (BENCH_sched.json) without
-// external tooling.
+// external tooling. With -append the document is written as a single
+// JSON line appended to -o instead of overwriting it, so repeated runs
+// (`make bench-server`) accumulate a JSONL trajectory.
 //
 // Benchmark lines look like:
 //
@@ -95,6 +97,8 @@ func benchjsonCmd(args []string) {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	benchIn := fs.String("i", "", "input file (default stdin)")
 	benchOut := fs.String("o", "", "output file (default stdout)")
+	appendOut := fs.Bool("append", false,
+		"append one compact JSON line instead of overwriting (JSONL trajectory)")
 	fs.Parse(args)
 
 	in := io.Reader(os.Stdin)
@@ -118,26 +122,50 @@ func benchjsonCmd(args []string) {
 	}
 
 	// Emit with keys in input order (json.Marshal on a map would sort
-	// them, hiding the bench file's natural grouping).
+	// them, hiding the bench file's natural grouping). Append mode packs
+	// the document onto one line so that repeated runs build a JSONL
+	// trajectory in the same file.
 	var b strings.Builder
-	b.WriteString("{\n")
-	for i, name := range order {
-		enc, err := json.Marshal(results[name])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+	if *appendOut {
+		b.WriteString("{")
+		for i, name := range order {
+			enc, err := json.Marshal(results[name])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%q:%s", name, enc)
 		}
-		fmt.Fprintf(&b, "  %q: %s", name, enc)
-		if i != len(order)-1 {
-			b.WriteString(",")
+		b.WriteString("}\n")
+	} else {
+		b.WriteString("{\n")
+		for i, name := range order {
+			enc, err := json.Marshal(results[name])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(&b, "  %q: %s", name, enc)
+			if i != len(order)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
 		}
-		b.WriteString("\n")
+		b.WriteString("}\n")
 	}
-	b.WriteString("}\n")
 
 	out := os.Stdout
 	if *benchOut != "" {
-		f, err := os.Create(*benchOut)
+		var f *os.File
+		var err error
+		if *appendOut {
+			f, err = os.OpenFile(*benchOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		} else {
+			f, err = os.Create(*benchOut)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)

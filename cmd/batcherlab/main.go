@@ -16,8 +16,9 @@
 //	batcherlab ablate   # steal-policy / batch-cap / launch ablations
 //	batcherlab real     # wall-clock runs on the goroutine runtime
 //	batcherlab all      # everything above
-//	batcherlab benchjson [-i bench.txt] [-o BENCH_sched.json]
+//	batcherlab benchjson [-i bench.txt] [-o BENCH_sched.json] [-append]
 //	                    # convert `go test -bench -benchmem` output to JSON
+//	                    # (-append: add one JSONL line instead of overwriting)
 //
 // Flags:
 //

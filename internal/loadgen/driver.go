@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"batcher/internal/rng"
+	"batcher/internal/server"
+)
+
+// Workload describes one load-generation run.
+type Workload struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the number of concurrent connections. Defaults to 8.
+	Conns int
+	// Ops is the number of operations per connection. Defaults to 1000.
+	Ops int
+	// Window is the closed-loop pipelining depth per connection: at most
+	// Window requests are outstanding, each response permits the next
+	// send. Defaults to 16. Ignored in open-loop mode.
+	Window int
+	// RatePerSec, when positive, switches to open-loop mode: requests
+	// are paced at this aggregate rate across all connections regardless
+	// of response progress, so queueing delay shows up as latency
+	// instead of reduced throughput.
+	RatePerSec float64
+	// DS is the target structure (server.DSCounter, DSSkiplist, ...).
+	DS uint8
+	// ReadFrac is the fraction of operations that are lookups; the rest
+	// are inserts. The counter ignores it (increment-only).
+	ReadFrac float64
+	// KeySpace bounds generated keys, [0, KeySpace). Defaults to 1<<16.
+	KeySpace int64
+	// Seed seeds the per-connection RNGs.
+	Seed uint64
+}
+
+// Result aggregates a run's outcome.
+type Result struct {
+	// Sent and Responses count requests written and responses received;
+	// Errors counts responses carrying FlagErr (rejections).
+	Sent, Responses, Errors int64
+	// Elapsed is wall-clock time for the whole run.
+	Elapsed time.Duration
+	// OpsPerSec is Responses / Elapsed.
+	OpsPerSec float64
+	// Latency percentiles over per-request round-trip times.
+	P50, P95, P99, Max time.Duration
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"sent=%d resp=%d err=%d elapsed=%.3fs throughput=%.0f ops/s p50=%s p95=%s p99=%s max=%s",
+		r.Sent, r.Responses, r.Errors, r.Elapsed.Seconds(), r.OpsPerSec,
+		r.P50, r.P95, r.P99, r.Max)
+}
+
+// Run executes the workload and reports aggregate results. Each
+// connection runs its own client goroutine(s); latencies are collected
+// per connection and merged at the end.
+func Run(w Workload) (Result, error) {
+	if w.Conns <= 0 {
+		w.Conns = 8
+	}
+	if w.Ops <= 0 {
+		w.Ops = 1000
+	}
+	if w.Window <= 0 {
+		w.Window = 16
+	}
+	if w.KeySpace <= 0 {
+		w.KeySpace = 1 << 16
+	}
+
+	var (
+		mu    sync.Mutex
+		res   Result
+		lats  []time.Duration
+		first error
+	)
+	report := func(sent, responses, errors int64, l []time.Duration, err error) {
+		mu.Lock()
+		res.Sent += sent
+		res.Responses += responses
+		res.Errors += errors
+		lats = append(lats, l...)
+		if err != nil && first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < w.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runConn(w, i, report)
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if first != nil {
+		return res, first
+	}
+
+	if res.Elapsed > 0 {
+		res.OpsPerSec = float64(res.Responses) / res.Elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+		res.Max = lats[len(lats)-1]
+	}
+	return res, nil
+}
+
+// runConn drives one connection. In closed-loop mode a single goroutine
+// interleaves sends and receives, keeping up to Window requests in
+// flight. In open-loop mode a sender paces requests on schedule while a
+// separate receiver drains responses. Responses arrive in completion
+// order, so send timestamps are matched to responses by request id.
+func runConn(w Workload, idx int, report func(int64, int64, int64, []time.Duration, error)) {
+	var sent, responses, errors int64
+	lats := make([]time.Duration, 0, w.Ops)
+	fail := func(err error) { report(sent, responses, errors, lats, err) }
+
+	c, err := Dial(w.Addr)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer c.Close()
+
+	r := rng.New(w.Seed + uint64(idx)*0x9e3779b97f4a7c15 + 1)
+	nextReq := func() server.Request {
+		q := server.Request{DS: w.DS, Key: int64(r.Uint64() % uint64(w.KeySpace))}
+		if w.DS != server.DSCounter && r.Float64() < w.ReadFrac {
+			q.Op = server.OpLookup
+		} else {
+			q.Op = server.OpInsert
+			q.Val = q.Key * 2
+		}
+		if w.DS == server.DSCounter {
+			q.Op = server.OpInsert
+			q.Val = 1
+		}
+		return q
+	}
+
+	sendTimes := make(map[uint64]time.Time, w.Window)
+	var stMu sync.Mutex // only contended in open-loop mode
+
+	recvOne := func() error {
+		resp, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		stMu.Lock()
+		t0, ok := sendTimes[resp.ID]
+		delete(sendTimes, resp.ID)
+		stMu.Unlock()
+		if ok {
+			lats = append(lats, time.Since(t0))
+		}
+		responses++
+		if resp.Err() {
+			errors++
+		}
+		return nil
+	}
+
+	if w.RatePerSec > 0 {
+		// Open-loop: pace sends; drain responses concurrently.
+		interval := time.Duration(float64(w.Conns) * float64(time.Second) / w.RatePerSec)
+		recvDone := make(chan error, 1)
+		remaining := w.Ops
+		go func() {
+			for i := 0; i < remaining; i++ {
+				if err := recvOne(); err != nil {
+					recvDone <- err
+					return
+				}
+			}
+			recvDone <- nil
+		}()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for i := 0; i < w.Ops; i++ {
+			<-tick.C
+			q := nextReq()
+			stMu.Lock()
+			id, err := c.Send(q)
+			if err == nil {
+				sendTimes[id] = time.Now()
+				err = c.Flush()
+			}
+			stMu.Unlock()
+			if err != nil {
+				fail(err)
+				return
+			}
+			sent++
+		}
+		if err := <-recvDone; err != nil {
+			fail(err)
+			return
+		}
+		report(sent, responses, errors, lats, nil)
+		return
+	}
+
+	// Closed-loop: fill the window, then lockstep recv-then-send.
+	inFlight := 0
+	for i := 0; i < w.Ops; i++ {
+		if inFlight == w.Window {
+			if err := recvOne(); err != nil {
+				fail(err)
+				return
+			}
+			inFlight--
+		}
+		id, err := c.Send(nextReq())
+		if err != nil {
+			fail(err)
+			return
+		}
+		sendTimes[id] = time.Now()
+		sent++
+		inFlight++
+		if inFlight == w.Window || i == w.Ops-1 {
+			if err := c.Flush(); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+	for ; inFlight > 0; inFlight-- {
+		if err := recvOne(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	report(sent, responses, errors, lats, nil)
+}

@@ -1,0 +1,117 @@
+// Package loadgen is batcherd's load-generation client: a thin typed
+// client over the wire protocol in internal/server, plus a workload
+// driver that runs open- or closed-loop load across many connections
+// and reports throughput and latency percentiles. The batcherd binary
+// embeds it as the `load` subcommand; tests use it to drive e2e load.
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"batcher/internal/server"
+)
+
+// Client is one connection speaking the batcherd protocol. It is not
+// safe for concurrent use by multiple goroutines on the same method
+// set, but one goroutine may Send/Flush while another Recvs — the two
+// directions are independent (responses arrive in completion order,
+// which is why Send returns the request id).
+type Client struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	sbuf   []byte
+	rbuf   []byte
+	nextID uint64
+}
+
+// Dial connects to a batcherd server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		nc: nc,
+		br: bufio.NewReader(nc),
+		bw: bufio.NewWriter(nc),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Send buffers one request and returns its id. If q.ID is zero, a fresh
+// sequential id is assigned (client ids start at 1). Call Flush to push
+// buffered requests to the server.
+func (c *Client) Send(q server.Request) (uint64, error) {
+	if q.ID == 0 {
+		c.nextID++
+		q.ID = c.nextID
+	}
+	c.sbuf = server.AppendRequest(c.sbuf[:0], q)
+	_, err := c.bw.Write(c.sbuf)
+	return q.ID, err
+}
+
+// Flush pushes buffered requests to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads the next response, in server completion order (not send
+// order — match by ID). The payload, if any, is copied and safe to
+// retain.
+func (c *Client) Recv() (server.Response, error) {
+	body, err := server.ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return server.Response{}, err
+	}
+	c.rbuf = body[:0]
+	r, err := server.DecodeResponse(body)
+	if err != nil {
+		return server.Response{}, err
+	}
+	if r.Payload != nil {
+		r.Payload = append([]byte(nil), r.Payload...)
+	}
+	return r, nil
+}
+
+// Do sends one request and waits for its response — a convenience for
+// unpipelined callers; it requires that no other requests are in
+// flight on this client.
+func (c *Client) Do(q server.Request) (server.Response, error) {
+	id, err := c.Send(q)
+	if err != nil {
+		return server.Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return server.Response{}, err
+	}
+	r, err := c.Recv()
+	if err != nil {
+		return server.Response{}, err
+	}
+	if r.ID != id {
+		return server.Response{}, fmt.Errorf("loadgen: response id %d for request %d (responses in flight?)", r.ID, id)
+	}
+	return r, nil
+}
+
+// Stats fetches and decodes the server's stats document.
+func (c *Client) Stats() (server.Stats, error) {
+	r, err := c.Do(server.Request{DS: server.DSStats})
+	if err != nil {
+		return server.Stats{}, err
+	}
+	if r.Err() || r.Flags&server.FlagPayload == 0 {
+		return server.Stats{}, fmt.Errorf("loadgen: stats request rejected (flags %#x)", r.Flags)
+	}
+	var st server.Stats
+	if err := json.Unmarshal(r.Payload, &st); err != nil {
+		return server.Stats{}, err
+	}
+	return st, nil
+}

@@ -4,6 +4,8 @@ package sched
 // Batchify entry point called by core-program tasks (Figure 3) and the
 // LaunchBatch procedure (Figure 4).
 
+import goruntime "runtime"
+
 // OpKind is a data-structure-specific operation code. The scheduler never
 // interprets it; it exists so that a single OpRecord type serves every
 // batched structure in the repository.
@@ -60,7 +62,22 @@ type Batched interface {
 // popping its batch deque, launching a batch if none is active, or
 // stealing from random victims' batch deques — until its status becomes
 // done.
-func (c *Ctx) Batchify(op *OpRecord) {
+func (c *Ctx) Batchify(op *OpRecord) { c.batchify(op, nil) }
+
+// linger is the bounded launch-delay state used by Pump submissions: a
+// trapped pump worker with linger budget left yields instead of
+// launching while backlog reports more queued external work, giving
+// sibling pump workers a chance to trap too so the batch coalesces
+// more operations. Core-program Batchify always passes nil (immediate
+// launch, as the paper specifies); see pump.go for why the serving
+// layer wants the delay.
+type linger struct {
+	budget  int
+	backlog func() bool
+}
+
+// batchify is Batchify's engine; lg is nil for core-program calls.
+func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 	if c.kind != KindCore {
 		panic("sched: Batchify called from a batch task; batched data structures must not access other batched structures")
 	}
@@ -89,20 +106,33 @@ func (c *Ctx) Batchify(op *OpRecord) {
 			w.status.Store(int32(StatusFree))
 			return
 		}
-		if rt.batchFlag.Load() == 0 && rt.batchFlag.CompareAndSwap(0, 1) {
-			// We are the launcher: inject LaunchBatch at the bottom of our
-			// batch deque and let the normal loop execute it (so that its
-			// parallel setup/cleanup is itself stealable batch work). The
-			// task is detached — nobody joins on it — so whichever worker
-			// runs it recycles the frame (recycleAfterRun).
-			w.m.BatchesLaunched++
-			lt := w.getTask()
-			lt.fn = rt.launchFn
-			lt.kind = KindBatch
-			lt.recycleAfterRun = true
-			w.batch.PushBottom(lt)
-			rt.idle.wake()
-			continue
+		if rt.batchFlag.Load() == 0 {
+			if lg != nil && lg.budget > 0 && lg.backlog() {
+				// Launch linger: more external work is queued, so yield
+				// (bounded) before claiming the flag — another pump
+				// worker can trap meanwhile and fatten the batch. If a
+				// sibling launches first, the next loop iteration sees
+				// our status flip instead.
+				lg.budget--
+				goruntime.Gosched()
+				continue
+			}
+			if rt.batchFlag.CompareAndSwap(0, 1) {
+				// We are the launcher: inject LaunchBatch at the bottom
+				// of our batch deque and let the normal loop execute it
+				// (so that its parallel setup/cleanup is itself
+				// stealable batch work). The task is detached — nobody
+				// joins on it — so whichever worker runs it recycles
+				// the frame (recycleAfterRun).
+				w.m.BatchesLaunched++
+				lt := w.getTask()
+				lt.fn = rt.launchFn
+				lt.kind = KindBatch
+				lt.recycleAfterRun = true
+				w.batch.PushBottom(lt)
+				rt.idle.wake()
+				continue
+			}
 		}
 		if !w.stealAndRun(true) {
 			w.idleTrapped()
@@ -214,6 +244,8 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	// Record metrics before waking participants.
 	c.w.m.BatchesExecuted++
 	c.w.m.BatchedOps += int64(len(working))
+	rt.liveBatches.Add(1)
+	rt.liveOps.Add(int64(len(working)))
 
 	// Step 4: mark participants done (executing -> done). Participants
 	// cannot have changed status themselves, so plain stores suffice.

@@ -82,6 +82,15 @@ func (rt *Runtime) Metrics() Metrics {
 	return m
 }
 
+// LiveBatchStats returns the number of executed batches and the total
+// operations they contained, over the runtime's lifetime. Unlike
+// Metrics it is safe to call at any time — including while a Run or
+// Pump.Serve is in progress — because the counters are atomics bumped
+// once per batch (stats endpoints read them while serving).
+func (rt *Runtime) LiveBatchStats() (batches, ops int64) {
+	return rt.liveBatches.Load(), rt.liveOps.Load()
+}
+
 // ResetMetrics zeroes all worker counters. Call only while no Run is in
 // progress.
 func (rt *Runtime) ResetMetrics() {

@@ -1,0 +1,257 @@
+package sched
+
+// This file implements the runtime's external-submission entry point,
+// the bridge batcherd uses to extend implicit batching to the network
+// edge. Code outside the fork-join computation (acceptor goroutines,
+// auxiliary threads) cannot call Batchify directly — Batchify traps the
+// *scheduler worker* that executes it, and a network reader is not a
+// worker. A Pump closes the gap: submitters enqueue operation records
+// into a bounded queue, and the runtime runs P long-lived "pump" core
+// tasks, one resident on each worker, that poll the queue and Batchify
+// each record. Concurrent network requests are thereby coalesced into
+// batches by exactly the machinery of Section 4 — the pending array,
+// the work-status flags, and the global batch flag — just as concurrent
+// fork-join strands are. Invariants 1 and 2 hold untouched: at most one
+// batch executes at a time, and a batch carries at most P operations,
+// because at most P pump tasks (one per worker) can be trapped in
+// Batchify at once.
+//
+// Backpressure falls out of the same structure. The pending array
+// admits at most P in-flight operations; the Pump's bounded queue is
+// the ingress buffer in front of it, and Submit fails fast with
+// ErrPumpSaturated when the buffer is full, so callers (batcherd's
+// connection readers) can park or shed load instead of queueing
+// unboundedly.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pump submission errors.
+var (
+	// ErrPumpClosed is returned by Submit after Close: the pump is
+	// draining and accepts no new operations.
+	ErrPumpClosed = errors.New("sched: Submit on closed Pump")
+	// ErrPumpSaturated is returned by Submit when the ingress queue is
+	// at capacity. The operation was not enqueued; callers should shed
+	// load or retry after completions free space.
+	ErrPumpSaturated = errors.New("sched: Pump ingress queue saturated")
+)
+
+// PumpConfig configures a Pump.
+type PumpConfig struct {
+	// QueueCap bounds the number of submitted-but-unclaimed operations;
+	// Submit returns ErrPumpSaturated beyond it. Defaults to 8×P.
+	QueueCap int
+	// OnDone, if non-nil, is invoked on a scheduler worker immediately
+	// after an operation's batch completes, with the record's result
+	// fields filled in. It must be fast and must never block (a blocked
+	// OnDone stalls a scheduler worker); hand off to a channel or queue
+	// with guaranteed capacity instead.
+	OnDone func(*OpRecord)
+	// LingerYields bounds the launch linger: a trapped pump worker
+	// yields up to this many times before launching a batch, but only
+	// while the ingress queue still holds backlog that sibling pumps
+	// could trap on. Lingering under backlog fattens batches (crucial
+	// when GOMAXPROCS is small and pumps rarely overlap by chance)
+	// without costing latency when the queue is empty — an empty queue
+	// skips the linger entirely, preserving the paper's immediate
+	// launch. 0 means the default (4); negative disables lingering.
+	LingerYields int
+}
+
+// Pump is the safe external-submission entry point: any goroutine may
+// Submit operation records, and the runtime's pump tasks feed them
+// through Batchify so they batch implicitly with each other. Create
+// with NewPump, start with Serve (usually on its own goroutine), stop
+// with Close — which is idempotent and drains every accepted operation
+// before Serve returns.
+type Pump struct {
+	rt  *Runtime
+	cfg PumpConfig
+
+	mu     sync.Mutex
+	q      []*OpRecord // FIFO: q[head:] are the queued records
+	head   int
+	closed bool
+
+	// served counts completed operations (monotonic; readable live).
+	served atomic.Int64
+}
+
+// NewPump creates a pump over rt. The runtime must not be running a
+// plain Run while the pump serves (Serve occupies it).
+func NewPump(rt *Runtime, cfg PumpConfig) *Pump {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8 * len(rt.workers)
+	}
+	if cfg.LingerYields == 0 {
+		cfg.LingerYields = 4
+	} else if cfg.LingerYields < 0 {
+		cfg.LingerYields = 0
+	}
+	return &Pump{rt: rt, cfg: cfg}
+}
+
+// Runtime returns the runtime this pump serves on.
+func (p *Pump) Runtime() *Runtime { return p.rt }
+
+// Submit enqueues op for implicit batching and returns immediately; the
+// result arrives via PumpConfig.OnDone. It never blocks: when the pump
+// is saturated or closed it returns an error and the record is
+// untouched. Safe for concurrent use from any goroutine. The record
+// must not be reused until OnDone delivers it.
+func (p *Pump) Submit(op *OpRecord) error {
+	if op.DS == nil {
+		panic("sched: Submit with nil OpRecord.DS")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPumpClosed
+	}
+	if len(p.q)-p.head >= p.cfg.QueueCap {
+		p.mu.Unlock()
+		return ErrPumpSaturated
+	}
+	p.q = append(p.q, op)
+	p.mu.Unlock()
+	// Publish-then-wake: the enqueue above is ordered before this load
+	// of the parked count (mutex release + sequentially consistent
+	// atomics), so a parking pump either re-checks after the enqueue and
+	// sees the record, or parks first and is woken here.
+	p.rt.idle.wake()
+	return nil
+}
+
+// Close stops admission and begins the drain: operations already
+// accepted are still batched and delivered, then Serve returns. Close
+// is idempotent and safe to call concurrently from any goroutine; it
+// does not wait for the drain (wait on Serve for that).
+func (p *Pump) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.rt.idle.wake()
+}
+
+// Depth returns the current ingress-queue depth (submitted operations
+// not yet claimed by a pump task). Readable at any time.
+func (p *Pump) Depth() int {
+	p.mu.Lock()
+	d := len(p.q) - p.head
+	p.mu.Unlock()
+	return d
+}
+
+// Served returns the number of completed operations. Readable at any
+// time.
+func (p *Pump) Served() int64 { return p.served.Load() }
+
+// poll claims the next queued record, or reports drained=true when the
+// pump is closed and the queue is empty (the pump task should return).
+func (p *Pump) poll() (op *OpRecord, drained bool) {
+	p.mu.Lock()
+	if p.head < len(p.q) {
+		op = p.q[p.head]
+		p.q[p.head] = nil
+		p.head++
+		if p.head == len(p.q) {
+			p.q = p.q[:0]
+			p.head = 0
+		}
+		p.mu.Unlock()
+		return op, false
+	}
+	drained = p.closed
+	p.mu.Unlock()
+	return nil, drained
+}
+
+// ready reports whether a pump task has a reason to run: a queued
+// record or a close to acknowledge. It is the park re-check condition.
+func (p *Pump) ready() bool {
+	p.mu.Lock()
+	r := p.closed || p.head < len(p.q)
+	p.mu.Unlock()
+	return r
+}
+
+// hasBacklog reports whether undelivered external work remains queued;
+// it is the launch-linger condition (see PumpConfig.LingerYields).
+func (p *Pump) hasBacklog() bool {
+	p.mu.Lock()
+	r := p.head < len(p.q)
+	p.mu.Unlock()
+	return r
+}
+
+// Serve runs the pump on the runtime until Close has been called and
+// every accepted operation has completed. It wraps a single Runtime.Run
+// whose root forks one pump task per worker, so it must not overlap
+// another Run (or Serve) on the same runtime; it blocks until the drain
+// finishes. If a batch panics, Serve re-panics with the cause, exactly
+// as Run does.
+func (p *Pump) Serve() {
+	rt := p.rt
+	rt.Run(func(c *Ctx) {
+		n := len(rt.workers)
+		if n == 1 {
+			p.pumpLoop(c)
+			return
+		}
+		c.For(0, n, 1, func(c *Ctx, _ int) { p.pumpLoop(c) })
+	})
+}
+
+// pumpLoop is the body of one pump task. It polls the ingress queue and
+// traps through Batchify like any core task; while the queue is empty
+// it helps with *batch* work only. It deliberately never executes core
+// tasks: in a serving runtime the only core tasks are sibling pump
+// loops, and nesting one here (it would not return until Close) would
+// serialize several pumps onto one worker's stack, shrinking achieved
+// batch sizes. Unstolen sibling pumps are instead picked up by idle
+// workers' main loops, whose park re-check watches core deques.
+func (p *Pump) pumpLoop(c *Ctx) {
+	w := c.w
+	rt := w.rt
+	lg := linger{backlog: p.hasBacklog}
+	for {
+		rt.checkAbort()
+		op, drained := p.poll()
+		if op != nil {
+			w.idleFails = 0
+			lg.budget = p.cfg.LingerYields
+			c.batchify(op, &lg)
+			p.served.Add(1)
+			if p.cfg.OnDone != nil {
+				p.cfg.OnDone(op)
+			}
+			continue
+		}
+		if drained {
+			return
+		}
+		if t := w.batch.PopBottom(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if w.stealAndRun(true) {
+			continue
+		}
+		if !w.spin() {
+			continue
+		}
+		epoch := rt.idle.beginPark()
+		if p.ready() || rt.aborting.Load() ||
+			!w.batch.Empty() || w.victimsHaveWork(true) {
+			rt.idle.cancelPark()
+			continue
+		}
+		w.m.Parks++
+		rt.idle.sleep(epoch)
+		w.idleFails = idleResume
+	}
+}

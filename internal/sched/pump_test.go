@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pumpSumDS is a trivial batched accumulator for pump tests: each op
+// adds Val and receives the running total, so results across a run form
+// a permutation of the prefix sums (a linearizability witness).
+type pumpSumDS struct {
+	total    int64
+	active   atomic.Int32
+	viol     atomic.Int32
+	maxBatch int
+}
+
+func (d *pumpSumDS) RunBatch(_ *Ctx, ops []*OpRecord) {
+	if d.active.Add(1) != 1 {
+		d.viol.Add(1)
+	}
+	if len(ops) > d.maxBatch {
+		d.maxBatch = len(ops)
+	}
+	for _, op := range ops {
+		d.total += op.Val
+		op.Res = d.total
+		op.Ok = true
+	}
+	d.active.Add(-1)
+}
+
+func TestPumpBasic(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 7})
+	ds := &pumpSumDS{}
+	const goroutines, per = 16, 100
+	total := goroutines * per
+
+	// Completion is delivered through a per-operation channel carried in
+	// Aux: OnDone runs on a scheduler worker after the batch filled the
+	// record, and the channel send orders those writes before the
+	// submitter's reads.
+	p := NewPump(rt, PumpConfig{OnDone: func(op *OpRecord) {
+		op.Aux.(chan struct{}) <- struct{}{}
+	}})
+
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); p.Serve() }()
+
+	results := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]int64, 0, per)
+			ready := make(chan struct{}, 1)
+			for i := 0; i < per; i++ {
+				op := &OpRecord{DS: ds, Val: 1, Aux: ready}
+				for {
+					err := p.Submit(op)
+					if err == nil {
+						break
+					}
+					if err != ErrPumpSaturated {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+				<-ready
+				if !op.Ok {
+					t.Error("completed op without Ok")
+					return
+				}
+				results[g] = append(results[g], op.Res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	<-serveDone
+
+	if ds.viol.Load() != 0 {
+		t.Fatalf("Invariant 1 violated %d times", ds.viol.Load())
+	}
+	if ds.total != int64(total) {
+		t.Fatalf("total = %d, want %d", ds.total, total)
+	}
+	seen := make(map[int64]bool, total)
+	for _, rs := range results {
+		for _, r := range rs {
+			if r < 1 || r > int64(total) || seen[r] {
+				t.Fatalf("result %d out of range or duplicated", r)
+			}
+			seen[r] = true
+		}
+	}
+	if p.Served() != int64(total) {
+		t.Fatalf("Served = %d, want %d", p.Served(), total)
+	}
+	if b, o := rt.LiveBatchStats(); b == 0 || o != int64(total) {
+		t.Fatalf("LiveBatchStats = (%d, %d), want ops %d", b, o, total)
+	}
+}
+
+func TestPumpSaturationAndClosed(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 3})
+	p := NewPump(rt, PumpConfig{QueueCap: 1})
+	ds := &pumpSumDS{}
+
+	// Not serving: the first Submit fills the queue, the second must be
+	// rejected rather than blocking or growing without bound.
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != ErrPumpSaturated {
+		t.Fatalf("second Submit: %v, want ErrPumpSaturated", err)
+	}
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("Depth = %d, want 1", d)
+	}
+
+	p.Close()
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != ErrPumpClosed {
+		t.Fatalf("Submit after Close: %v, want ErrPumpClosed", err)
+	}
+
+	// Serve after Close still drains the accepted operation.
+	p.Serve()
+	if ds.total != 1 {
+		t.Fatalf("total = %d, want 1 (accepted op must drain)", ds.total)
+	}
+}
+
+func TestPumpDoubleClose(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 5})
+	p := NewPump(rt, PumpConfig{})
+	done := make(chan struct{})
+	go func() { defer close(done); p.Serve() }()
+
+	// Concurrent and repeated Close calls must not panic and must all
+	// return; Serve must terminate.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); p.Close() }()
+	}
+	wg.Wait()
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func TestPumpDrainOnClose(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 11})
+	ds := &pumpSumDS{}
+	var delivered atomic.Int64
+	p := NewPump(rt, PumpConfig{QueueCap: 128, OnDone: func(*OpRecord) {
+		delivered.Add(1)
+	}})
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// Close before Serve: every accepted op must still execute and be
+	// delivered before Serve returns.
+	p.Close()
+	p.Serve()
+	if got := delivered.Load(); got != n {
+		t.Fatalf("delivered %d ops, want %d", got, n)
+	}
+	if ds.total != n {
+		t.Fatalf("total = %d, want %d", ds.total, n)
+	}
+}
+
+// TestPumpBatchesUnderLoad checks the whole point of the serving layer:
+// concurrent external submissions must coalesce into multi-operation
+// batches through the pending array.
+func TestPumpBatchesUnderLoad(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 13})
+	ds := &pumpSumDS{}
+	const n = 2000
+	var completed sync.WaitGroup
+	completed.Add(n)
+	p := NewPump(rt, PumpConfig{QueueCap: n, OnDone: func(*OpRecord) {
+		completed.Done()
+	}})
+	// Preload the queue so pumps never starve, then serve.
+	for i := 0; i < n; i++ {
+		if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	go p.Serve()
+	completed.Wait()
+	p.Close()
+
+	batches, ops := rt.LiveBatchStats()
+	if ops != n {
+		t.Fatalf("LiveBatchStats ops = %d, want %d", ops, n)
+	}
+	mean := float64(ops) / float64(batches)
+	if mean <= 1.0 {
+		t.Fatalf("mean batch size %.2f; want > 1 (no batching at the edge)", mean)
+	}
+	if ds.maxBatch > rt.Workers() {
+		t.Fatalf("batch of %d ops exceeds P=%d (Invariant 2)", ds.maxBatch, rt.Workers())
+	}
+	t.Logf("batches=%d ops=%d mean=%.2f max=%d", batches, ops, mean, ds.maxBatch)
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2, Seed: 1})
+	ds := &serverSumDS{}
+	s.Invoke(&OpRecord{DS: ds, Val: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Close() }()
+	}
+	wg.Wait()
+	s.Close() // and once more, after it is fully down
+	if ds.total != 1 {
+		t.Fatalf("total = %d, want 1", ds.total)
+	}
+}

@@ -225,6 +225,13 @@ type Runtime struct {
 	// because it is two atomic adds per batch.
 	batchesActive atomic.Int32
 
+	// liveBatches/liveOps mirror the BatchesExecuted/BatchedOps worker
+	// counters as atomics updated once per batch, so that serving-layer
+	// stats endpoints can read batching effectiveness while a Run (or
+	// Pump.Serve) is in progress — Runtime.Metrics is quiescent-only.
+	liveBatches atomic.Int64
+	liveOps     atomic.Int64
+
 	// aborting is set when a task panicked; workers unwind instead of
 	// waiting on joins that can no longer complete, and Run re-panics
 	// with the first cause. The runtime is unusable afterwards.

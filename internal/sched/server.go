@@ -92,12 +92,15 @@ func (s *Server) Invoke(op *OpRecord) {
 }
 
 // Close drains outstanding operations and shuts the server down. Invoke
-// must not be called concurrently with or after Close.
+// must not be called concurrently with or after Close. Close is
+// idempotent: repeated or concurrent calls all block until the first
+// one's shutdown completes and none panic.
 func (s *Server) Close() {
-	s.stop.Store(true)
-	select {
-	case s.wake <- struct{}{}:
-	default:
+	if s.stop.CompareAndSwap(false, true) {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
 	}
 	<-s.done
 }
@@ -159,6 +162,8 @@ func (s *Server) runBatch(c *Ctx, batch []*serverOp) {
 	runGroups(c, groups)
 	c.w.m.BatchesExecuted++
 	c.w.m.BatchedOps += int64(len(ops))
+	s.rt.liveBatches.Add(1)
+	s.rt.liveOps.Add(int64(len(ops)))
 	for _, so := range batch {
 		close(so.done)
 	}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWakerContention hammers the park/unpark protocol from many
+// producers and consumers at once: producers publish work items and call
+// wake, consumers claim items or park. The waker's seq/parked epoch
+// protocol (PR 1) promises no lost wakeups — every published item is
+// eventually consumed — which this test checks by requiring the whole
+// workload to finish well inside a generous deadline. Run under -race
+// it also pins the protocol's happens-before edges.
+func TestWakerContention(t *testing.T) {
+	var k waker
+	k.init()
+
+	const (
+		producers   = 8
+		consumers   = 8
+		perProducer = 5000
+	)
+	var (
+		queue         atomic.Int64 // published, unclaimed work items
+		consumed      atomic.Int64
+		doneProducing atomic.Bool
+	)
+
+	var prodWG sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			for j := 0; j < perProducer; j++ {
+				// Publish, then wake: the same order every real
+				// producer site in the scheduler uses.
+				queue.Add(1)
+				k.wake()
+			}
+		}()
+	}
+	go func() {
+		prodWG.Wait()
+		doneProducing.Store(true)
+		k.wake()
+	}()
+
+	var consWG sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			for {
+				claimed := false
+				for {
+					v := queue.Load()
+					if v <= 0 {
+						break
+					}
+					if queue.CompareAndSwap(v, v-1) {
+						consumed.Add(1)
+						claimed = true
+						break
+					}
+				}
+				if claimed {
+					continue
+				}
+				if doneProducing.Load() && queue.Load() == 0 {
+					return
+				}
+				epoch := k.beginPark()
+				if queue.Load() > 0 || doneProducing.Load() {
+					k.cancelPark()
+					continue
+				}
+				k.sleep(epoch)
+			}
+		}()
+	}
+
+	finished := make(chan struct{})
+	go func() { consWG.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("lost wakeup: consumed %d of %d items before deadline",
+			consumed.Load(), producers*perProducer)
+	}
+	if got := consumed.Load(); got != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", got, producers*perProducer)
+	}
+}
+
+// TestWakerParkStorm drives pure park/unpark churn with no work queue
+// at all for a fixed duration: parkers cycle through beginPark/sleep
+// while wakers bump the epoch. Every real wake() in the scheduler
+// follows publishing an event, so the wakers yield between calls
+// rather than spinning the lock. The test terminates only if (a) no
+// parker ever misses an epoch bump between beginPark and cond.Wait —
+// the lost-wakeup window the seq/parked protocol closes — and (b) the
+// stop flag behaves like any published event: stored before a final
+// wake, re-checked by parkers after beginPark.
+func TestWakerParkStorm(t *testing.T) {
+	var k waker
+	k.init()
+
+	var stop atomic.Bool
+	const wakers, parkers = 4, 4
+
+	var wakerWG sync.WaitGroup
+	for i := 0; i < wakers; i++ {
+		wakerWG.Add(1)
+		go func() {
+			defer wakerWG.Done()
+			for !stop.Load() {
+				k.wake()
+				goruntime.Gosched()
+			}
+			k.wake()
+		}()
+	}
+
+	var parkWG sync.WaitGroup
+	var parksTaken atomic.Int64
+	for i := 0; i < parkers; i++ {
+		parkWG.Add(1)
+		go func() {
+			defer parkWG.Done()
+			for {
+				epoch := k.beginPark()
+				if stop.Load() {
+					k.cancelPark()
+					return
+				}
+				k.sleep(epoch)
+				parksTaken.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(true)
+	k.wake() // stop published above; wake any parker already asleep
+
+	finished := make(chan struct{})
+	go func() { parkWG.Wait(); wakerWG.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("park storm wedged after %d parks (lost wakeup)", parksTaken.Load())
+	}
+	if parksTaken.Load() == 0 {
+		t.Fatal("no parks completed; storm did not exercise the protocol")
+	}
+}

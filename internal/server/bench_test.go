@@ -1,0 +1,52 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/server"
+)
+
+// BenchmarkServerLoopback measures end-to-end serving throughput over
+// loopback TCP at increasing connection counts, with the achieved mean
+// batch size reported alongside — the connection sweep shows edge
+// batching kicking in as concurrency grows.
+func BenchmarkServerLoopback(b *testing.B) {
+	for _, conns := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			s, err := server.Start(server.Config{Workers: 4, Seed: 42})
+			if err != nil {
+				b.Fatalf("Start: %v", err)
+			}
+			defer s.Shutdown()
+
+			ops := b.N / conns
+			if ops == 0 {
+				ops = 1
+			}
+			b.ResetTimer()
+			res, err := loadgen.Run(loadgen.Workload{
+				Addr:     s.Addr().String(),
+				Conns:    conns,
+				Ops:      ops,
+				Window:   8,
+				DS:       server.DSSkiplist,
+				ReadFrac: 0.5,
+				KeySpace: 1 << 14,
+				Seed:     42,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatalf("loadgen: %v", err)
+			}
+			if res.Errors != 0 {
+				b.Fatalf("%d ops rejected", res.Errors)
+			}
+			st := s.Snapshot()
+			b.ReportMetric(st.MeanBatch, "batch-size")
+			b.ReportMetric(res.OpsPerSec, "ops/s")
+			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+		})
+	}
+}

@@ -1,0 +1,192 @@
+// Package server is batcherd's serving layer: it extends implicit
+// batching to the wire. Clients speak a length-prefixed binary protocol
+// over TCP; acceptor goroutines decode operations and submit them
+// through a sched.Pump, whose per-worker pump tasks Batchify each one —
+// so concurrent network requests coalesce into batches through exactly
+// the pending-array machinery that coalesces concurrent fork-join
+// strands. Invariant 1 (one batch in flight) and Invariant 2 (at most P
+// operations per batch) hold at the network edge for free.
+//
+// The ingress path is bounded end to end: each connection has an
+// in-flight window (the reader parks — stops reading the socket, which
+// is TCP backpressure — when the window is full), and the pump's queue
+// caps globally queued operations (a reader whose submission saturates
+// the queue parks on its window slot until space frees). Invalid
+// operations and shutdown races are rejected with FlagErr.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format. All integers are little-endian. Every frame is a uint32
+// byte length followed by that many payload bytes.
+//
+//	request  := len:u32 id:u64 ds:u8 op:u8 key:i64 val:i64
+//	response := len:u32 id:u64 flags:u8 key:i64 res:i64 payload:bytes
+//
+// id is an opaque client token echoed in the response; responses may
+// arrive in any order (completion order, not submission order). key in
+// a response echoes the operation's key except for skip-list Succ,
+// where it carries the successor key found. payload is present only
+// when FlagPayload is set (the stats document).
+
+// Data-structure identifiers (the ds byte).
+const (
+	// DSCounter is the batched prefix-sums counter.
+	DSCounter uint8 = 0
+	// DSSkiplist is the Section 7 batched skip list.
+	DSSkiplist uint8 = 1
+	// DSTree23 is the join-based batched 2-3 tree.
+	DSTree23 uint8 = 2
+	// DSHashmap is the bucket-disjoint batched hash map.
+	DSHashmap uint8 = 3
+	// DSStats addresses the server itself: the response carries the
+	// JSON stats document (ops/s, achieved batch sizes, queue depth) as
+	// its payload.
+	DSStats uint8 = 0xFF
+)
+
+// Operation codes (the op byte). They mirror each structure's
+// sched.OpKind values; the server validates the (ds, op) pair.
+const (
+	// OpInsert / OpPut / OpIncrement: the structure's write. For the
+	// counter, val is the delta and res the post-increment value; for
+	// the maps and sets, key/val are inserted and FlagOK reports "newly
+	// inserted".
+	OpInsert uint8 = 0
+	// OpLookup (Contains/Get): res receives the value, FlagOK presence.
+	OpLookup uint8 = 1
+	// OpDelete (Delete/Del): FlagOK reports "was present".
+	OpDelete uint8 = 2
+	// OpSucc (skip list only): smallest key >= key; the response key
+	// holds the successor key, res its value, FlagOK existence.
+	OpSucc uint8 = 4
+)
+
+// Response flag bits.
+const (
+	// FlagOK carries the operation's boolean result (presence, "newly
+	// inserted", ...). A clear FlagOK with a clear FlagErr is a normal
+	// negative result, not a failure.
+	FlagOK uint8 = 1 << 0
+	// FlagErr marks a rejected request: malformed (ds, op) pair, or
+	// caught by shutdown. The operation did not execute.
+	FlagErr uint8 = 1 << 1
+	// FlagPayload marks a response carrying payload bytes.
+	FlagPayload uint8 = 1 << 2
+)
+
+const (
+	reqBody  = 8 + 1 + 1 + 8 + 8 // id, ds, op, key, val
+	respBody = 8 + 1 + 8 + 8     // id, flags, key, res
+
+	// maxFrame bounds any frame body, guarding readers against garbage
+	// or hostile length prefixes.
+	maxFrame = 1 << 20
+)
+
+// Request is one decoded client request.
+type Request struct {
+	ID  uint64
+	DS  uint8
+	Op  uint8
+	Key int64
+	Val int64
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID      uint64
+	Flags   uint8
+	Key     int64
+	Res     int64
+	Payload []byte
+}
+
+// OK reports the operation's boolean result.
+func (r *Response) OK() bool { return r.Flags&FlagOK != 0 }
+
+// Err reports whether the request was rejected without executing.
+func (r *Response) Err() bool { return r.Flags&FlagErr != 0 }
+
+// AppendRequest appends q's wire encoding to buf and returns the
+// extended slice.
+func AppendRequest(buf []byte, q Request) []byte {
+	var f [4 + reqBody]byte
+	binary.LittleEndian.PutUint32(f[0:], reqBody)
+	binary.LittleEndian.PutUint64(f[4:], q.ID)
+	f[12] = q.DS
+	f[13] = q.Op
+	binary.LittleEndian.PutUint64(f[14:], uint64(q.Key))
+	binary.LittleEndian.PutUint64(f[22:], uint64(q.Val))
+	return append(buf, f[:]...)
+}
+
+// AppendResponse appends r's wire encoding to buf and returns the
+// extended slice.
+func AppendResponse(buf []byte, r Response) []byte {
+	var f [4 + respBody]byte
+	binary.LittleEndian.PutUint32(f[0:], uint32(respBody+len(r.Payload)))
+	binary.LittleEndian.PutUint64(f[4:], r.ID)
+	f[12] = r.Flags
+	binary.LittleEndian.PutUint64(f[13:], uint64(r.Key))
+	binary.LittleEndian.PutUint64(f[21:], uint64(r.Res))
+	buf = append(buf, f[:]...)
+	return append(buf, r.Payload...)
+}
+
+// ReadFrame reads one length-prefixed frame body into buf (growing it
+// as needed) and returns the body slice, which aliases buf's storage.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DecodeRequest decodes a request frame body.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) != reqBody {
+		return Request{}, fmt.Errorf("server: request body %d bytes, want %d", len(b), reqBody)
+	}
+	return Request{
+		ID:  binary.LittleEndian.Uint64(b[0:]),
+		DS:  b[8],
+		Op:  b[9],
+		Key: int64(binary.LittleEndian.Uint64(b[10:])),
+		Val: int64(binary.LittleEndian.Uint64(b[18:])),
+	}, nil
+}
+
+// DecodeResponse decodes a response frame body. The returned Payload
+// aliases b; copy it to retain it past the next read into b's buffer.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < respBody {
+		return Response{}, fmt.Errorf("server: response body %d bytes, want >= %d", len(b), respBody)
+	}
+	r := Response{
+		ID:    binary.LittleEndian.Uint64(b[0:]),
+		Flags: b[8],
+		Key:   int64(binary.LittleEndian.Uint64(b[9:])),
+		Res:   int64(binary.LittleEndian.Uint64(b[17:])),
+	}
+	if r.Flags&FlagPayload != 0 {
+		r.Payload = b[respBody:]
+	}
+	return r, nil
+}

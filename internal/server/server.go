@@ -1,0 +1,409 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batcher/internal/ds/counter"
+	"batcher/internal/ds/hashmap"
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/ds/tree23"
+	"batcher/internal/sched"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address. Defaults to "127.0.0.1:0" (an
+	// ephemeral loopback port; read it back from Server.Addr).
+	Addr string
+	// Workers is P, the scheduler worker count. Zero means GOMAXPROCS.
+	Workers int
+	// Seed seeds the scheduler's RNGs and the hashed structures.
+	Seed uint64
+	// QueueCap bounds the pump's ingress queue (see sched.PumpConfig).
+	QueueCap int
+	// Window bounds each connection's in-flight requests. The reader
+	// stops reading the socket while the window is full, so backpressure
+	// propagates to the client as TCP flow control. Defaults to 32.
+	Window int
+	// DrainTimeout bounds how long Shutdown waits for in-flight
+	// responses to reach slow clients before forcing connections closed.
+	// Defaults to 5s.
+	DrainTimeout time.Duration
+}
+
+// Server owns a listener, a scheduler runtime, one instance of each
+// served data structure, and the pump that joins them. Start it with
+// Start, stop it with Shutdown.
+type Server struct {
+	cfg  Config
+	ln   net.Listener
+	rt   *sched.Runtime
+	pump *sched.Pump
+
+	ctr  *counter.Batched
+	skip *skiplist.Batched
+	tree *tree23.Batched
+	hmap *hashmap.Batched
+
+	start time.Time
+	quit  chan struct{}
+	done  chan struct{}
+	stop  sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup // one per live connection handler
+	srvWG  sync.WaitGroup // accept loop + pump.Serve
+
+	curConns  atomic.Int64
+	accepted  atomic.Int64 // operations admitted into the pump
+	rejected  atomic.Int64 // operations refused (bad op, saturation, shutdown)
+	completed atomic.Int64 // responses handed to connection writers
+
+	reqPool sync.Pool
+}
+
+// request is one in-flight operation: the OpRecord the scheduler
+// batches, plus the connection bookkeeping needed to route the response
+// back. The record's Aux points back at the request so the pump's
+// OnDone callback can recover it.
+type request struct {
+	op      sched.OpRecord
+	c       *conn
+	id      uint64
+	flags   uint8 // pre-set for rejections and stats; 0 means "derive from op"
+	payload []byte
+}
+
+// conn is one accepted connection. The window channel is the in-flight
+// semaphore: the reader acquires a slot before reading each request and
+// the writer releases it after writing the response, so at most Window
+// operations are outstanding and the out channel (capacity Window)
+// always has room — completion callbacks never block a scheduler
+// worker.
+type conn struct {
+	nc     net.Conn
+	out    chan *request
+	window chan struct{}
+}
+
+// Start builds the runtime and structures, binds the listener, and
+// begins serving. It returns once the server is accepting connections.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	rt := sched.New(sched.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		rt:    rt,
+		ctr:   counter.New(0),
+		skip:  skiplist.NewBatched(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		tree:  tree23.NewBatched(),
+		hmap:  hashmap.NewBatched(cfg.Seed ^ 0xd1342543de82ef95),
+		start: time.Now(),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.reqPool.New = func() any {
+		rq := &request{}
+		rq.op.Aux = rq
+		return rq
+	}
+	s.pump = sched.NewPump(rt, sched.PumpConfig{
+		QueueCap: cfg.QueueCap,
+		OnDone:   s.complete,
+	})
+	s.srvWG.Add(2)
+	go func() { defer s.srvWG.Done(); s.pump.Serve() }()
+	go func() { defer s.srvWG.Done(); s.accept() }()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with the :0 default).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Runtime exposes the underlying scheduler runtime (stats, tests).
+func (s *Server) Runtime() *sched.Runtime { return s.rt }
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and requests, drains every in-flight operation — each admitted
+// request still executes and its response is written — and then tears
+// down the runtime. Idempotent and safe to call concurrently; every
+// call blocks until the shutdown completes.
+func (s *Server) Shutdown() {
+	s.stop.Do(func() {
+		s.ln.Close()
+		close(s.quit)
+		// Unblock readers parked in ReadFrame; admitted operations keep
+		// draining through the pump and each conn's writer.
+		s.connMu.Lock()
+		for nc := range s.conns {
+			nc.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		// Past the drain budget, force the sockets down entirely so
+		// writers stuck on unresponsive clients error out and release
+		// their window slots.
+		force := time.AfterFunc(s.cfg.DrainTimeout, func() {
+			s.connMu.Lock()
+			for nc := range s.conns {
+				nc.SetDeadline(time.Now())
+			}
+			s.connMu.Unlock()
+		})
+		s.connWG.Wait()
+		force.Stop()
+		// All connections have fully drained (writers release window
+		// slots only after their responses are written or abandoned), so
+		// the pump queue is quiescent; Close lets Serve return.
+		s.pump.Close()
+		s.srvWG.Wait()
+		close(s.done)
+	})
+	<-s.done
+}
+
+func (s *Server) accept() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.connMu.Lock()
+		select {
+		case <-s.quit:
+			s.connMu.Unlock()
+			nc.Close()
+			return
+		default:
+		}
+		s.conns[nc] = struct{}{}
+		s.connWG.Add(1)
+		s.connMu.Unlock()
+		s.curConns.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// handle runs one connection: this goroutine is the reader, with a
+// dedicated writer goroutine feeding the socket from the out channel.
+func (s *Server) handle(nc net.Conn) {
+	defer s.connWG.Done()
+	c := &conn{
+		nc:     nc,
+		out:    make(chan *request, s.cfg.Window),
+		window: make(chan struct{}, s.cfg.Window),
+	}
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() { defer writerWG.Done(); s.writeLoop(c) }()
+
+	s.readLoop(c)
+
+	// Teardown: reclaim every window slot. Each in-flight operation
+	// holds one and releases it only after its response is written (or
+	// abandoned on a dead socket), so once all slots are back, no
+	// completion can touch the out channel again and it is safe to
+	// close.
+	for i := 0; i < s.cfg.Window; i++ {
+		c.window <- struct{}{}
+	}
+	close(c.out)
+	writerWG.Wait()
+	nc.Close()
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
+	s.curConns.Add(-1)
+}
+
+func (s *Server) readLoop(c *conn) {
+	var buf []byte
+	for {
+		// Admission: take a window slot before touching the socket. A
+		// full window means Window responses are still owed; not reading
+		// is precisely TCP backpressure on the client.
+		select {
+		case c.window <- struct{}{}:
+		case <-s.quit:
+			return
+		}
+		body, err := ReadFrame(c.nc, buf)
+		if err != nil {
+			<-c.window // the slot just taken; no request carries it
+			return
+		}
+		buf = body[:0]
+		q, err := DecodeRequest(body)
+		if err != nil {
+			<-c.window
+			return // protocol error: drop the connection
+		}
+		s.dispatch(c, q)
+	}
+}
+
+// dispatch routes one decoded request, with its window slot already
+// held. Every path either submits the operation to the pump or enqueues
+// an immediate response; both eventually release the slot in the writer.
+func (s *Server) dispatch(c *conn, q Request) {
+	rq := s.reqPool.Get().(*request)
+	rq.c = c
+	rq.id = q.ID
+	rq.flags = 0
+	rq.payload = nil
+	rq.op.Kind = 0
+	rq.op.Key = q.Key
+	rq.op.Val = q.Val
+	rq.op.Res = 0
+	rq.op.Ok = false
+
+	if q.DS == DSStats {
+		rq.flags = FlagOK | FlagPayload
+		rq.payload = s.statsJSON()
+		c.out <- rq
+		return
+	}
+	ds, kind, ok := s.target(q.DS, q.Op)
+	if !ok {
+		s.rejected.Add(1)
+		rq.flags = FlagErr
+		c.out <- rq
+		return
+	}
+	rq.op.DS = ds
+	rq.op.Kind = kind
+	// Park on saturation: the pump's bounded queue is the global ingress
+	// limit in front of the pending array, and this reader already holds
+	// a window slot, so blocking here is bounded — the connection simply
+	// stops reading, which the client sees as TCP backpressure. No
+	// admitted request is ever dropped; only shutdown rejects.
+	wait := time.Microsecond
+	for {
+		err := s.pump.Submit(&rq.op)
+		if err == nil {
+			s.accepted.Add(1)
+			return
+		}
+		if err == sched.ErrPumpClosed {
+			break
+		}
+		select {
+		case <-s.quit:
+			err = sched.ErrPumpClosed
+		case <-time.After(wait):
+			if wait < 128*time.Microsecond {
+				wait *= 2
+			}
+			continue
+		}
+		break
+	}
+	s.rejected.Add(1)
+	rq.flags = FlagErr
+	c.out <- rq
+}
+
+// target validates a (ds, op) pair and maps it onto a batched structure
+// and its operation kind. The wire codes were chosen to coincide with
+// the structures' sched.OpKind values, so the mapping is a check plus a
+// cast.
+func (s *Server) target(ds, op uint8) (sched.Batched, sched.OpKind, bool) {
+	switch ds {
+	case DSCounter:
+		if op == OpInsert {
+			return s.ctr, counter.OpIncrement, true
+		}
+	case DSSkiplist:
+		switch op {
+		case OpInsert, OpLookup, OpDelete, OpSucc:
+			return s.skip, sched.OpKind(op), true
+		}
+	case DSTree23:
+		switch op {
+		case OpInsert, OpLookup, OpDelete:
+			return s.tree, sched.OpKind(op), true
+		}
+	case DSHashmap:
+		switch op {
+		case OpInsert, OpLookup, OpDelete:
+			return s.hmap, sched.OpKind(op), true
+		}
+	}
+	return nil, 0, false
+}
+
+// complete is the pump's OnDone callback, invoked on a scheduler worker
+// after a batch fills in the record. The out channel has one slot of
+// guaranteed capacity per window slot and this request holds a window
+// slot, so the send can never block the worker.
+func (s *Server) complete(op *sched.OpRecord) {
+	rq := op.Aux.(*request)
+	rq.c.out <- rq
+}
+
+// writeLoop drains the out channel: encode, write, flush when idle,
+// release the window slot, recycle. After a socket error it keeps
+// draining — abandoning responses but still releasing slots — so that
+// in-flight operations can finish and teardown can reclaim the window.
+func (s *Server) writeLoop(c *conn) {
+	bw := bufio.NewWriter(c.nc)
+	var buf []byte
+	broken := false
+	for rq := range c.out {
+		if !broken {
+			flags := rq.flags
+			if flags == 0 {
+				if rq.op.Ok {
+					flags = FlagOK
+				}
+			}
+			buf = AppendResponse(buf[:0], Response{
+				ID:      rq.id,
+				Flags:   flags,
+				Key:     rq.op.Key,
+				Res:     rq.op.Res,
+				Payload: rq.payload,
+			})
+			if _, err := bw.Write(buf); err != nil {
+				broken = true
+			} else if len(c.out) == 0 {
+				// Flush only when no more responses are queued: back-to-
+				// back completions (whole batches finishing at once)
+				// coalesce into one syscall.
+				if err := bw.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+		s.completed.Add(1)
+		rq.payload = nil
+		rq.c = nil
+		s.reqPool.Put(rq)
+		<-c.window
+	}
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("batcherd on %s (P=%d, window=%d)",
+		s.ln.Addr(), s.rt.Workers(), s.cfg.Window)
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Stats is the server's live metrics document, served as the payload of
+// a DSStats request. Batching figures come from the runtime's live
+// counters (sched.Runtime.LiveBatchStats), which — unlike
+// Runtime.Metrics — are readable while the pump is serving.
+type Stats struct {
+	// Workers is P.
+	Workers int `json:"workers"`
+	// UptimeSec is seconds since Start.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Conns is the current connection count.
+	Conns int64 `json:"conns"`
+	// Accepted, Rejected, and Completed count operations admitted into
+	// the pump, refused (bad op, saturation, shutdown), and responded
+	// to (including rejections and stats reads).
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	// OpsPerSec is Completed averaged over the uptime.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Batches and BatchedOps count executed batches and the operations
+	// they carried; MeanBatch is their ratio — the achieved batch size,
+	// the figure of merit for edge batching.
+	Batches    int64   `json:"batches"`
+	BatchedOps int64   `json:"batched_ops"`
+	MeanBatch  float64 `json:"mean_batch"`
+	// QueueDepth is the pump ingress queue's current depth.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Snapshot assembles the current Stats. Safe at any time, including
+// while serving.
+func (s *Server) Snapshot() Stats {
+	up := time.Since(s.start).Seconds()
+	batches, ops := s.rt.LiveBatchStats()
+	st := Stats{
+		Workers:    s.rt.Workers(),
+		UptimeSec:  up,
+		Conns:      s.curConns.Load(),
+		Accepted:   s.accepted.Load(),
+		Rejected:   s.rejected.Load(),
+		Completed:  s.completed.Load(),
+		Batches:    batches,
+		BatchedOps: ops,
+		QueueDepth: s.pump.Depth(),
+	}
+	if up > 0 {
+		st.OpsPerSec = float64(st.Completed) / up
+	}
+	if batches > 0 {
+		st.MeanBatch = float64(ops) / float64(batches)
+	}
+	return st
+}
+
+// statsJSON renders Snapshot for the wire.
+func (s *Server) statsJSON() []byte {
+	b, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		// A fixed struct of numbers cannot fail to marshal.
+		panic(err)
+	}
+	return b
+}
