@@ -1,6 +1,6 @@
 # Development targets. Everything is stdlib-only; `go` >= 1.22 suffices.
 
-.PHONY: all build vet test race bench bench-json bench-server lab lab-quick examples cover fuzz
+.PHONY: all build vet test race bench bench-json bench-server lab lab-quick examples cover fuzz chaos
 
 all: build vet test
 
@@ -58,3 +58,11 @@ cover:
 fuzz:
 	go test -fuzz=FuzzTreeAgainstMap -fuzztime=30s ./internal/ds/tree23/
 	go test -fuzz=FuzzSeqAgainstMap -fuzztime=30s ./internal/ds/skiplist/
+	go test -run '^$$' -fuzz=FuzzDecodeRequest -fuzztime=20s ./internal/server/
+	go test -run '^$$' -fuzz=FuzzDecodeResponse -fuzztime=20s ./internal/server/
+
+# The failure-containment suite: contained batch panics, fault-injected
+# structures, and the wire-level chaos tests, under the race detector.
+chaos:
+	go test -race -run 'TestContain|TestPumpServesThroughBatchPanic|TestChaos|TestStatsBooks' \
+		-count=1 -v ./internal/sched/ ./internal/faultinject/ ./internal/server/

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	batcherd serve [-addr :7411] [-workers N] [-window 32] [-queue N]
+//	               [-idle-timeout D] [-write-stall D] [-saturation-timeout D]
 //	    Run the server until SIGINT/SIGTERM, then drain gracefully.
 //
 //	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
@@ -61,15 +62,21 @@ func serveCmd(args []string) {
 	queue := fs.Int("queue", 0, "pump ingress queue capacity (0 = 8×P)")
 	seed := fs.Uint64("seed", 20140623, "seed for the hashed structures")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	idle := fs.Duration("idle-timeout", 0, "reap connections idle this long (0 = 2m default, <0 disables)")
+	stall := fs.Duration("write-stall", 0, "break connections whose reads stall a response write this long (0 = 30s default, <0 disables)")
+	saturation := fs.Duration("saturation-timeout", 0, "reject requests parked this long on a saturated queue (0 = 30s default, <0 disables)")
 	fs.Parse(args)
 
 	s, err := server.Start(server.Config{
-		Addr:         *addr,
-		Workers:      *workers,
-		Seed:         *seed,
-		QueueCap:     *queue,
-		Window:       *window,
-		DrainTimeout: *drain,
+		Addr:              *addr,
+		Workers:           *workers,
+		Seed:              *seed,
+		QueueCap:          *queue,
+		Window:            *window,
+		DrainTimeout:      *drain,
+		IdleTimeout:       *idle,
+		WriteStallTimeout: *stall,
+		SaturationTimeout: *saturation,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batcherd: %v\n", err)
@@ -147,4 +154,6 @@ func printStats(addr string) {
 		st.Accepted, st.Rejected, st.Completed, st.OpsPerSec)
 	fmt.Printf("batch:  %d batches, %d ops, mean size %.2f, queue depth %d\n",
 		st.Batches, st.BatchedOps, st.MeanBatch, st.QueueDepth)
+	fmt.Printf("faults: failed=%d batch_panics=%d decode_errors=%d\n",
+		st.Failed, st.BatchPanics, st.DecodeErrors)
 }

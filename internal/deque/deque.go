@@ -139,6 +139,13 @@ func (d *Deque[T]) Len() int {
 	return int(n)
 }
 
+// Bottom returns the owner-end index. Owner only. Push increments it and
+// pop decrements it, so the owner can snapshot Bottom before a nested
+// computation and later drain exactly the items that computation pushed
+// and abandoned (panic containment in the scheduler): items at indices
+// >= a snapshot taken by the owner were pushed after the snapshot.
+func (d *Deque[T]) Bottom() int64 { return d.bottom.Load() }
+
 // Steals returns the number of successful steals from this deque since
 // creation. Used by scheduler metrics.
 func (d *Deque[T]) Steals() int64 { return d.steals.Load() }

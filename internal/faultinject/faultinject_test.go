@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"batcher/internal/sched"
+)
+
+// sum is a minimal healthy inner structure: a running total, so tests
+// can check exactly which operations reached it.
+type sum struct{ total int64 }
+
+func (s *sum) RunBatch(_ *sched.Ctx, ops []*sched.OpRecord) {
+	for _, op := range ops {
+		s.total += op.Val
+		op.Res = s.total
+		op.Ok = true
+	}
+}
+
+// TestPanickerContained drives the Panicker through a contained runtime
+// one operation at a time (each its own batch group, so counts are
+// exact): poison operations come back with a BatchPanicError and never
+// touch the inner structure; clean ones complete normally even though
+// they interleave with the panics on the same structure.
+func TestPanickerContained(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 1})
+	rt.ContainBatchPanics(true)
+	inner := &sum{}
+	p := &Panicker{Inner: inner, Poison: 666}
+
+	const n = 50
+	var poisoned, clean int
+	rt.Run(func(c *sched.Ctx) {
+		for i := 0; i < n; i++ {
+			op := &sched.OpRecord{DS: p, Val: 1}
+			if i%5 == 0 {
+				op.Key = 666
+			}
+			c.Batchify(op)
+			if i%5 == 0 {
+				var bp *sched.BatchPanicError
+				if !errors.As(op.Err, &bp) || bp.Recovered != PanicValue {
+					t.Fatalf("poison op %d: Err = %v, want BatchPanicError(%q)", i, op.Err, PanicValue)
+				}
+				poisoned++
+			} else {
+				if op.Err != nil || !op.Ok {
+					t.Fatalf("clean op %d: err=%v ok=%v", i, op.Err, op.Ok)
+				}
+				clean++
+			}
+		}
+	})
+	if poisoned != n/5 || clean != n-n/5 {
+		t.Fatalf("poisoned=%d clean=%d, want %d/%d", poisoned, clean, n/5, n-n/5)
+	}
+	if inner.total != int64(n-n/5) {
+		t.Fatalf("inner total = %d, want %d (poison batches must not touch the inner structure)", inner.total, n-n/5)
+	}
+	if got := p.Panics.Load(); got != int64(n/5) {
+		t.Fatalf("Panics = %d, want %d", got, n/5)
+	}
+}
+
+// TestFlakyEveryN pins the Flaky schedule: with EveryN=3, calls 3, 6,
+// and 9 panic and the rest delegate.
+func TestFlakyEveryN(t *testing.T) {
+	rt := sched.New(sched.Config{Workers: 2, Seed: 2})
+	rt.ContainBatchPanics(true)
+	inner := &sum{}
+	f := &Flaky{Inner: inner, EveryN: 3}
+
+	var failed int
+	rt.Run(func(c *sched.Ctx) {
+		for i := 0; i < 9; i++ {
+			op := &sched.OpRecord{DS: f, Val: 1}
+			c.Batchify(op)
+			if op.Err != nil {
+				failed++
+			}
+		}
+	})
+	if failed != 3 {
+		t.Fatalf("failed = %d, want 3", failed)
+	}
+	if inner.total != 6 {
+		t.Fatalf("inner total = %d, want 6", inner.total)
+	}
+	if got := f.Panics.Load(); got != 3 {
+		t.Fatalf("Panics = %d, want 3", got)
+	}
+}

@@ -41,7 +41,9 @@ type Workload struct {
 // Result aggregates a run's outcome.
 type Result struct {
 	// Sent and Responses count requests written and responses received;
-	// Errors counts responses carrying FlagErr (rejections).
+	// Errors counts responses carrying FlagErr — rejections and
+	// contained batch-panic failures alike (the server's stats document
+	// splits them: rejected vs failed).
 	Sent, Responses, Errors int64
 	// Elapsed is wall-clock time for the whole run.
 	Elapsed time.Duration

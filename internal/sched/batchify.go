@@ -4,7 +4,11 @@ package sched
 // Batchify entry point called by core-program tasks (Figure 3) and the
 // LaunchBatch procedure (Figure 4).
 
-import goruntime "runtime"
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // OpKind is a data-structure-specific operation code. The scheduler never
 // interprets it; it exists so that a single OpRecord type serves every
@@ -30,6 +34,14 @@ type OpRecord struct {
 	Res int64
 	// Ok is the operation's boolean result (e.g. "key was present").
 	Ok bool
+	// Err reports a failed operation: when batch-panic containment is on
+	// (ContainBatchPanics, enabled by Pump.Serve) and the op's group
+	// panicked mid-BOP, the scheduler sets Err to a *BatchPanicError
+	// before the submitter resumes. Ownership rule: Batchify clears Err
+	// on entry, the scheduler is the only writer while the operation is
+	// in flight, and the field is valid from completion until the record
+	// is reused. RunBatch implementations must never touch it.
+	Err error
 	// Aux carries non-integer payloads when a structure needs them.
 	Aux any
 
@@ -87,6 +99,7 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 	w := c.w
 	rt := w.rt
 	op.worker = int32(w.id)
+	op.Err = nil // the scheduler owns Err until the operation completes
 
 	// Publish the record, then the status. Both stores are sequentially
 	// consistent atomics, so a launcher that observes status==pending also
@@ -128,6 +141,7 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 				lt := w.getTask()
 				lt.fn = rt.launchFn
 				lt.kind = KindBatch
+				lt.group = 0 // scheduler work: a panic here is never contained
 				lt.recycleAfterRun = true
 				w.batch.PushBottom(lt)
 				rt.idle.wake()
@@ -157,6 +171,19 @@ type batchScratch struct {
 	groups []dsGroup
 	opsBuf []*OpRecord
 
+	// Containment state (see contain.go). groupLive[g] counts outstanding
+	// tasks of group g's batch subtree — incremented by the pusher before
+	// a group-tagged task becomes stealable, decremented when it finishes
+	// — so a contained panic that unwound past join frames can still wait
+	// for the group's stolen work before the batch completes. panicked[g]
+	// records the first recovered panic value per group (panicMu guards
+	// it; the path is already catastrophic, so a mutex is fine), and
+	// anyPanic flags that the post-step-3 marking scan is needed at all.
+	groupLive []atomic.Int32
+	panicked  []any
+	panicMu   sync.Mutex
+	anyPanic  atomic.Bool
+
 	ackBody   func(*Ctx, int) // step 1: pending -> executing, collect
 	groupBody func(*Ctx, int) // step 3: run one group's BOP
 	doneBody  func(*Ctx, int) // step 4: executing -> done
@@ -168,6 +195,8 @@ func (s *batchScratch) init(rt *Runtime) {
 	s.working = make([]*OpRecord, 0, nw)
 	s.groups = make([]dsGroup, 0, nw)
 	s.opsBuf = make([]*OpRecord, 0, nw)
+	s.groupLive = make([]atomic.Int32, nw)
+	s.panicked = make([]any, nw)
 	s.ackBody = func(_ *Ctx, i int) {
 		wi := rt.workers[i]
 		if wi.status.CompareAndSwap(int32(StatusPending), int32(StatusExecuting)) {
@@ -180,10 +209,7 @@ func (s *batchScratch) init(rt *Runtime) {
 			s.claimed[i] = nil
 		}
 	}
-	s.groupBody = func(cc *Ctx, i int) {
-		g := &s.groups[i]
-		g.ds.RunBatch(cc, g.ops)
-	}
+	s.groupBody = func(cc *Ctx, i int) { rt.runGroup(cc, i) }
 	s.doneBody = func(_ *Ctx, i int) {
 		op := s.working[i]
 		rt.workers[op.worker].status.Store(int32(StatusDone))
@@ -235,10 +261,17 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	// still sees at most one batch at a time.
 	s.groupWorking()
 	if len(s.groups) == 1 {
-		g := &s.groups[0]
-		g.ds.RunBatch(c, g.ops)
+		rt.runGroup(c, 0)
 	} else {
 		c.For(0, len(s.groups), 1, s.groupBody)
+	}
+
+	// Contained failures: stamp Err on every op of each panicked group
+	// now, before step 4 flips participant statuses — a participant that
+	// observes done must also observe its record's Err (the status store
+	// below is sequentially consistent and program-ordered after this).
+	if s.anyPanic.Load() {
+		s.markPanickedGroups()
 	}
 
 	// Record metrics before waking participants.

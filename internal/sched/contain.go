@@ -1,0 +1,177 @@
+package sched
+
+// This file implements batch-panic containment, the failure-containment
+// layer the serving edge needs: a panicking BOP must cost exactly its
+// own group's operations, not the process.
+//
+// The core program's contract (Run, panic_test.go) is unchanged — a
+// panic anywhere, including inside RunBatch, aborts the runtime and
+// re-panics out of Run, because a fork-join program cannot meaningfully
+// continue past a collapsed subcomputation. A *serving* runtime can:
+// the ops of the failed group are marked with OpRecord.Err, every other
+// group and every other batch proceeds, and the paper's invariants
+// survive because LaunchBatch's steps 4–5 (participant statuses, batch
+// flag) still run in full.
+//
+// Containment has to repair two things a recovered panic breaks:
+//
+//  1. Abandoned deque items. A panic that unwinds out of Fork or For
+//     skips their join phases, leaving forked-but-unconsumed tasks at
+//     the bottom of the worker's batch deque. A live outer frame would
+//     later pop one of those orphans where it expects its own child —
+//     the "fork-join deque discipline violated" crash. Recovery
+//     therefore snapshots the deque's bottom index at every containment
+//     boundary (group entry, group-tagged task entry) and, on panic,
+//     pops and runs everything above the snapshot before returning.
+//  2. Unjoined stolen work. The skipped join phases also mean nobody
+//     waits for subtasks that thieves are still running; letting the
+//     batch complete while they run would race them against the
+//     participants' resumed code (and the next batch). Every
+//     group-tagged task is counted in scratch.groupLive at push time
+//     and uncounted when it finishes, and runGroup does not return
+//     until its group's count is zero.
+//
+// Group tagging rides the existing task machinery: runGroup sets the
+// worker's curGroup for the extent of the BOP, forks inherit the tag
+// (ctx.go), and a thief executing a tagged task adopts the tag for its
+// own nested forks (execTask). Tags are 1-based so the zero value of a
+// pooled Task means "no group" — core tasks, pump loops, and
+// LaunchBatch's own setup/cleanup stay tag-free, and a panic in any of
+// those still aborts globally (it would be a scheduler bug, not a data
+// structure failure).
+
+import (
+	"fmt"
+	goruntime "runtime"
+)
+
+// BatchPanicError is the error stored in OpRecord.Err for every
+// operation of a group whose BOP panicked under containment. All ops of
+// the group share one instance.
+type BatchPanicError struct {
+	// Recovered is the value the BOP panicked with.
+	Recovered any
+}
+
+func (e *BatchPanicError) Error() string {
+	return fmt.Sprintf("sched: batched operation panicked: %v", e.Recovered)
+}
+
+// ContainBatchPanics toggles batch-panic containment. While on, a panic
+// that unwinds out of a group's RunBatch (or out of any task forked by
+// it, wherever it was stolen to) no longer aborts the runtime: the
+// failed group's OpRecords get Err set to a *BatchPanicError, the
+// BatchPanics counter is bumped, and the batch completes its remaining
+// steps so every participant resumes and other groups are untouched.
+// Panics outside batch groups (core tasks, the scheduler's own work)
+// still abort and re-panic out of Run regardless of this setting.
+//
+// Pump.Serve enables containment for its duration — a serving runtime
+// must degrade per-operation, not per-process. Direct Run callers keep
+// the propagate-everything default.
+//
+// Note that containment is a scheduler-level guarantee only: a BOP that
+// panicked midway may leave its own structure in an inconsistent state.
+// Err tells the submitter the operation did not (fully) execute; what
+// the structure's remains mean is the structure's problem.
+func (rt *Runtime) ContainBatchPanics(on bool) { rt.contain.Store(on) }
+
+// BatchPanics returns the number of contained batch panics since the
+// runtime was created. Like LiveBatchStats it is readable at any time,
+// including while serving.
+func (rt *Runtime) BatchPanics() int64 { return rt.batchPanics.Load() }
+
+// runGroup executes group gi of the current batch (LaunchBatch step 3).
+// Without containment it is a plain RunBatch call; with containment it
+// is a recovery boundary that keeps the failure inside the group.
+func (rt *Runtime) runGroup(c *Ctx, gi int) {
+	s := &rt.scratch
+	g := &s.groups[gi]
+	if !rt.contain.Load() {
+		g.ds.RunBatch(c, g.ops)
+		return
+	}
+	w := c.w
+	rt.runGroupContained(c, w, gi, g)
+	// A contained panic may have unwound past join frames, so stolen
+	// subtasks of this group can still be running. The batch must not
+	// complete (and the next must not start) while they touch the
+	// group's records, so hold the group open until its count drains,
+	// helping with batch work meanwhile. In the no-panic case every join
+	// completed normally and the count is already zero.
+	for s.groupLive[gi].Load() != 0 {
+		rt.checkAbort()
+		if t := w.batch.PopBottom(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if !w.stealAndRun(true) {
+			goruntime.Gosched()
+		}
+	}
+}
+
+// runGroupContained runs one group's BOP with the worker tagged as
+// inside that group, recovering a panic into the group's failure record.
+func (rt *Runtime) runGroupContained(c *Ctx, w *worker, gi int, g *dsGroup) {
+	saved := w.curGroup
+	entry := w.batch.Bottom()
+	w.curGroup = int32(gi + 1)
+	defer func() {
+		w.curGroup = saved
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); isAbort {
+				// The runtime is aborting for an uncontained cause;
+				// keep unwinding.
+				panic(r)
+			}
+			rt.containGroupPanic(w, gi, r, entry)
+		}
+	}()
+	g.ds.RunBatch(c, g.ops)
+}
+
+// containGroupPanic records a recovered panic for group gi and repairs
+// the calling worker's batch deque: every task above entry was pushed
+// by the frames the panic unwound and has no surviving parent to pop
+// it, so run each here (still under containment — popped tasks are
+// group-tagged, and a repeat panic recurses through execTask's own
+// boundary). Tasks above entry that thieves already took are covered by
+// the groupLive wait in runGroup.
+func (rt *Runtime) containGroupPanic(w *worker, gi int, v any, entry int64) {
+	rt.batchPanics.Add(1)
+	s := &rt.scratch
+	s.panicMu.Lock()
+	if s.panicked[gi] == nil {
+		s.panicked[gi] = v
+	}
+	s.panicMu.Unlock()
+	s.anyPanic.Store(true)
+	for w.batch.Bottom() > entry {
+		t := w.batch.PopBottom()
+		if t == nil {
+			break // the rest was stolen; the deque is empty
+		}
+		w.runTask(t)
+	}
+}
+
+// markPanickedGroups stamps Err on every operation of each group whose
+// BOP panicked this batch, and clears the per-batch panic state for the
+// next batch. Called by launchBatchBody between steps 3 and 4; at that
+// point all groups (and, via runGroup's drain, all their stolen
+// subtasks) have finished, so the records are quiescent.
+func (s *batchScratch) markPanickedGroups() {
+	s.anyPanic.Store(false)
+	s.panicMu.Lock()
+	for gi := range s.groups {
+		if v := s.panicked[gi]; v != nil {
+			s.panicked[gi] = nil
+			err := &BatchPanicError{Recovered: v}
+			for _, op := range s.groups[gi].ops {
+				op.Err = err
+			}
+		}
+	}
+	s.panicMu.Unlock()
+}

@@ -57,6 +57,11 @@ func (c *Ctx) Fork(a, b func(*Ctx)) {
 	bt.kind = c.kind
 	bt.join = &bt.ownJoin
 	bt.ownJoin.pending.Store(1)
+	// Tasks forked inside a batch group inherit its tag, counted before
+	// the push makes them stealable (panic containment; see contain.go).
+	if bt.group = w.curGroup; bt.group != 0 {
+		w.rt.scratch.groupLive[bt.group-1].Add(1)
+	}
 	d := w.dequeFor(c.kind)
 	d.PushBottom(bt)
 	w.rt.idle.wake()
@@ -161,6 +166,10 @@ func (c *Ctx) forRange(lo, hi, grain int, body func(*Ctx, int)) {
 		t.kind = c.kind
 		t.join = &t.ownJoin
 		t.ownJoin.pending.Store(1)
+		// Group-tag inheritance, as in Fork (panic containment).
+		if t.group = w.curGroup; t.group != 0 {
+			w.rt.scratch.groupLive[t.group-1].Add(1)
+		}
 		t.next = chain
 		chain = t
 		d.PushBottom(t)

@@ -192,10 +192,20 @@ func (p *Pump) hasBacklog() bool {
 // every accepted operation has completed. It wraps a single Runtime.Run
 // whose root forks one pump task per worker, so it must not overlap
 // another Run (or Serve) on the same runtime; it blocks until the drain
-// finishes. If a batch panics, Serve re-panics with the cause, exactly
-// as Run does.
+// finishes.
+//
+// Serve enables batch-panic containment for its duration: a panicking
+// BOP is charged to its own group — those records come back with Err
+// set to a *BatchPanicError (observable in OnDone) and BatchPanics is
+// incremented — while every other operation, connection, and batch
+// proceeds. A serving edge fed untrusted input must degrade per
+// operation, not per process. Panics outside batch groups (a pump bug,
+// a panicking OnDone) still abort and re-panic out of Serve, exactly as
+// Run does.
 func (p *Pump) Serve() {
 	rt := p.rt
+	rt.ContainBatchPanics(true)
+	defer rt.ContainBatchPanics(false)
 	rt.Run(func(c *Ctx) {
 		n := len(rt.workers)
 		if n == 1 {

@@ -109,6 +109,14 @@ type Task struct {
 	body          func(*Ctx, int)
 	lo, hi, grain int
 
+	// group tags tasks belonging to a batch group's subtree under panic
+	// containment: 1+groupIndex, or 0 for untagged (core tasks, pump
+	// loops, LaunchBatch's own work — and everything when containment is
+	// off, since tags propagate from runGroup). Pooled frames rely on the
+	// zero value meaning "untagged"; every creation site sets it. See
+	// contain.go.
+	group int32
+
 	// ownJoin is the completion counter for pooled tasks (the root task
 	// of a Run uses a separate join carrying a wake channel).
 	ownJoin join
@@ -231,6 +239,13 @@ type Runtime struct {
 	// Pump.Serve) is in progress — Runtime.Metrics is quiescent-only.
 	liveBatches atomic.Int64
 	liveOps     atomic.Int64
+
+	// contain enables batch-panic containment (ContainBatchPanics): a
+	// panic escaping a group's BOP marks that group's records instead of
+	// aborting the runtime. batchPanics counts contained panics; it is an
+	// atomic so stats endpoints can read it live. See contain.go.
+	contain     atomic.Bool
+	batchPanics atomic.Int64
 
 	// aborting is set when a task panicked; workers unwind instead of
 	// waiting on joins that can no longer complete, and Run re-panics
@@ -384,6 +399,13 @@ type worker struct {
 	// (it traps until the operation completes), so one record suffices.
 	opRec OpRecord
 
+	// curGroup is the batch-group tag (1+groupIndex, 0 = none) of the
+	// work this worker is currently executing; forks inherit it so a
+	// contained panic can be attributed to its group wherever the task
+	// was stolen to. Owner-only: set by runGroup and execTask, read at
+	// fork-push time on the same goroutine. See contain.go.
+	curGroup int32
+
 	_ [cacheLinePad]byte
 
 	// status is the work-status flag, read by LaunchBatch on any worker
@@ -484,17 +506,39 @@ func (w *worker) runTask(t *Task) {
 
 // execTask is runTask's body; it exists so that the join finish and
 // panic recovery (deferred) complete before runTask's wake/recycle.
+//
+// A task tagged with a batch group (see contain.go) makes this a
+// containment boundary: the worker adopts the tag for the task's extent
+// (so nested forks inherit it), and a panic is recorded against the
+// group — with the deque repaired back to its entry depth — instead of
+// aborting the runtime. The group's live count is released only after
+// that repair, so runGroup's drain cannot observe zero while abandoned
+// subtasks remain.
 func (w *worker) execTask(t *Task) {
 	w.m.TasksRun++
 	if testHookTaskRun != nil {
 		testHookTaskRun(t.kind, Status(w.status.Load()))
 	}
+	savedGroup := w.curGroup
+	var entry int64
+	if t.group != 0 {
+		entry = w.batch.Bottom()
+	}
+	w.curGroup = t.group
 	defer t.join.finish()
 	defer func() {
+		w.curGroup = savedGroup
 		if r := recover(); r != nil {
-			if _, isAbort := r.(abortSignal); !isAbort {
+			if _, isAbort := r.(abortSignal); isAbort {
+				// Global abort in progress; nothing to record.
+			} else if t.group != 0 && w.rt.contain.Load() {
+				w.rt.containGroupPanic(w, int(t.group-1), r, entry)
+			} else {
 				w.rt.recordPanic(r)
 			}
+		}
+		if t.group != 0 {
+			w.rt.scratch.groupLive[t.group-1].Add(-1)
 		}
 	}()
 	ctx := &w.ctxs[t.kind]

@@ -17,9 +17,16 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrFrameTooLarge is wrapped by ReadFrame errors caused by a length
+// prefix beyond maxFrame — a protocol violation by the peer, as opposed
+// to an I/O failure. Readers use errors.Is to count it as a decode
+// error in the stats.
+var ErrFrameTooLarge = errors.New("frame length exceeds limit")
 
 // Wire format. All integers are little-endian. Every frame is a uint32
 // byte length followed by that many payload bytes.
@@ -72,8 +79,12 @@ const (
 	// inserted", ...). A clear FlagOK with a clear FlagErr is a normal
 	// negative result, not a failure.
 	FlagOK uint8 = 1 << 0
-	// FlagErr marks a rejected request: malformed (ds, op) pair, or
-	// caught by shutdown. The operation did not execute.
+	// FlagErr marks a failed request: rejected without executing
+	// (malformed (ds, op) pair, saturation past the cap, shutdown) or
+	// accepted but caught in a batch group whose BOP panicked — in which
+	// case the structure may or may not have applied the operation
+	// before panicking, and the client must treat its effect as
+	// unknown.
 	FlagErr uint8 = 1 << 1
 	// FlagPayload marks a response carrying payload bytes.
 	FlagPayload uint8 = 1 << 2
@@ -109,7 +120,8 @@ type Response struct {
 // OK reports the operation's boolean result.
 func (r *Response) OK() bool { return r.Flags&FlagOK != 0 }
 
-// Err reports whether the request was rejected without executing.
+// Err reports whether the request failed: rejected before the pump, or
+// lost to a contained batch panic (see FlagErr for the distinction).
 func (r *Response) Err() bool { return r.Flags&FlagErr != 0 }
 
 // AppendRequest appends q's wire encoding to buf and returns the
@@ -147,7 +159,7 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("server: frame length %d exceeds limit %d", n, maxFrame)
+		return nil, fmt.Errorf("server: %w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)

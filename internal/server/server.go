@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -34,6 +35,30 @@ type Config struct {
 	// responses to reach slow clients before forcing connections closed.
 	// Defaults to 5s.
 	DrainTimeout time.Duration
+	// IdleTimeout bounds how long a live connection may go without
+	// delivering a complete frame: the reader refreshes a read deadline
+	// before each frame, so a half-open peer (or one that sent a torn
+	// frame and stalled) is closed and its window slots reclaimed
+	// instead of being held until Shutdown. Defaults to 2m; negative
+	// disables.
+	IdleTimeout time.Duration
+	// WriteStallTimeout bounds each response write (and flush) to a
+	// client. A peer that stops reading stalls the writer at most this
+	// long, after which the connection is torn down — abandoning its
+	// responses but releasing its window slots — so dead readers cannot
+	// pin in-flight operations. Defaults to 30s; negative disables.
+	WriteStallTimeout time.Duration
+	// SaturationTimeout caps the total time a reader may park waiting
+	// for space in a saturated pump queue before the request is rejected
+	// with FlagErr. Defaults to 30s; negative disables the cap (park
+	// until shutdown, the pre-containment behavior).
+	SaturationTimeout time.Duration
+	// WrapDS, if non-nil, wraps each served structure as it is
+	// installed; ds is the structure's wire identifier (DSCounter, ...).
+	// Returning b unchanged keeps the plain structure. This is the
+	// fault-injection seam: chaos tests splice internal/faultinject
+	// wrappers into a live server through it.
+	WrapDS func(ds uint8, b sched.Batched) sched.Batched
 }
 
 // Server owns a listener, a scheduler runtime, one instance of each
@@ -45,10 +70,12 @@ type Server struct {
 	rt   *sched.Runtime
 	pump *sched.Pump
 
-	ctr  *counter.Batched
-	skip *skiplist.Batched
-	tree *tree23.Batched
-	hmap *hashmap.Batched
+	// The served structures, as installed (WrapDS may have wrapped the
+	// concrete types with fault-injection shims).
+	ctr  sched.Batched
+	skip sched.Batched
+	tree sched.Batched
+	hmap sched.Batched
 
 	start time.Time
 	quit  chan struct{}
@@ -62,8 +89,11 @@ type Server struct {
 
 	curConns  atomic.Int64
 	accepted  atomic.Int64 // operations admitted into the pump
-	rejected  atomic.Int64 // operations refused (bad op, saturation, shutdown)
+	rejected  atomic.Int64 // operations refused (bad op, saturation cap, shutdown)
 	completed atomic.Int64 // responses handed to connection writers
+	immediate atomic.Int64 // responses that bypassed the pump (stats, rejections)
+	failed    atomic.Int64 // accepted operations completed with Err (contained batch panic)
+	decodeErr atomic.Int64 // connections dropped for malformed frames
 
 	reqPool sync.Pool
 }
@@ -104,19 +134,41 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	switch {
+	case cfg.IdleTimeout == 0:
+		cfg.IdleTimeout = 2 * time.Minute
+	case cfg.IdleTimeout < 0:
+		cfg.IdleTimeout = 0
+	}
+	switch {
+	case cfg.WriteStallTimeout == 0:
+		cfg.WriteStallTimeout = 30 * time.Second
+	case cfg.WriteStallTimeout < 0:
+		cfg.WriteStallTimeout = 0
+	}
+	switch {
+	case cfg.SaturationTimeout == 0:
+		cfg.SaturationTimeout = 30 * time.Second
+	case cfg.SaturationTimeout < 0:
+		cfg.SaturationTimeout = 0
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
+	}
+	wrap := cfg.WrapDS
+	if wrap == nil {
+		wrap = func(_ uint8, b sched.Batched) sched.Batched { return b }
 	}
 	rt := sched.New(sched.Config{Workers: cfg.Workers, Seed: cfg.Seed})
 	s := &Server{
 		cfg:   cfg,
 		ln:    ln,
 		rt:    rt,
-		ctr:   counter.New(0),
-		skip:  skiplist.NewBatched(cfg.Seed ^ 0x9e3779b97f4a7c15),
-		tree:  tree23.NewBatched(),
-		hmap:  hashmap.NewBatched(cfg.Seed ^ 0xd1342543de82ef95),
+		ctr:   wrap(DSCounter, counter.New(0)),
+		skip:  wrap(DSSkiplist, skiplist.NewBatched(cfg.Seed^0x9e3779b97f4a7c15)),
+		tree:  wrap(DSTree23, tree23.NewBatched()),
+		hmap:  wrap(DSHashmap, hashmap.NewBatched(cfg.Seed^0xd1342543de82ef95)),
 		start: time.Now(),
 		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -246,14 +298,35 @@ func (s *Server) readLoop(c *conn) {
 		case <-s.quit:
 			return
 		}
+		// Idle deadline: a half-open peer, or one that sent a torn frame
+		// and stalled, times out here and releases its slots instead of
+		// holding them until Shutdown. Refreshed per frame, so any live
+		// traffic keeps the connection open indefinitely. Ordering versus
+		// Shutdown matters: Shutdown closes quit *before* stamping its
+		// immediate deadlines, so a reader that overwrites one here is
+		// guaranteed to see quit closed in the re-check below — no reader
+		// is left blocked for a full IdleTimeout during shutdown.
+		if s.cfg.IdleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			select {
+			case <-s.quit:
+				<-c.window
+				return
+			default:
+			}
+		}
 		body, err := ReadFrame(c.nc, buf)
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				s.decodeErr.Add(1)
+			}
 			<-c.window // the slot just taken; no request carries it
 			return
 		}
 		buf = body[:0]
 		q, err := DecodeRequest(body)
 		if err != nil {
+			s.decodeErr.Add(1)
 			<-c.window
 			return // protocol error: drop the connection
 		}
@@ -275,16 +348,19 @@ func (s *Server) dispatch(c *conn, q Request) {
 	rq.op.Val = q.Val
 	rq.op.Res = 0
 	rq.op.Ok = false
+	rq.op.Err = nil // pooled records may carry a prior contained-panic Err
 
 	if q.DS == DSStats {
 		rq.flags = FlagOK | FlagPayload
 		rq.payload = s.statsJSON()
+		s.immediate.Add(1)
 		c.out <- rq
 		return
 	}
 	ds, kind, ok := s.target(q.DS, q.Op)
 	if !ok {
 		s.rejected.Add(1)
+		s.immediate.Add(1)
 		rq.flags = FlagErr
 		c.out <- rq
 		return
@@ -293,23 +369,46 @@ func (s *Server) dispatch(c *conn, q Request) {
 	rq.op.Kind = kind
 	// Park on saturation: the pump's bounded queue is the global ingress
 	// limit in front of the pending array, and this reader already holds
-	// a window slot, so blocking here is bounded — the connection simply
-	// stops reading, which the client sees as TCP backpressure. No
-	// admitted request is ever dropped; only shutdown rejects.
+	// a window slot, so blocking here stops the connection from reading,
+	// which the client sees as TCP backpressure. The park is bounded by
+	// SaturationTimeout: past the cap the request is rejected with
+	// FlagErr rather than pinning the reader forever behind a wedged
+	// queue. One timer is reused across retries (time.After would leak
+	// a timer per backoff step on a saturated server).
+	var (
+		timer    *time.Timer
+		deadline time.Time
+	)
 	wait := time.Microsecond
 	for {
 		err := s.pump.Submit(&rq.op)
 		if err == nil {
 			s.accepted.Add(1)
+			if timer != nil {
+				timer.Stop()
+			}
 			return
 		}
 		if err == sched.ErrPumpClosed {
 			break
 		}
+		if timer == nil {
+			if s.cfg.SaturationTimeout > 0 {
+				deadline = time.Now().Add(s.cfg.SaturationTimeout)
+			}
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timer.Stop()
+			break
+		}
 		select {
 		case <-s.quit:
+			timer.Stop()
 			err = sched.ErrPumpClosed
-		case <-time.After(wait):
+		case <-timer.C:
 			if wait < 128*time.Microsecond {
 				wait *= 2
 			}
@@ -318,6 +417,7 @@ func (s *Server) dispatch(c *conn, q Request) {
 		break
 	}
 	s.rejected.Add(1)
+	s.immediate.Add(1)
 	rq.flags = FlagErr
 	c.out <- rq
 }
@@ -354,9 +454,16 @@ func (s *Server) target(ds, op uint8) (sched.Batched, sched.OpKind, bool) {
 // complete is the pump's OnDone callback, invoked on a scheduler worker
 // after a batch fills in the record. The out channel has one slot of
 // guaranteed capacity per window slot and this request holds a window
-// slot, so the send can never block the worker.
+// slot, so the send can never block the worker. An operation whose
+// batch group panicked (op.Err set by the contained-panic path) is
+// answered with FlagErr — failure is per operation, not per connection
+// or per process.
 func (s *Server) complete(op *sched.OpRecord) {
 	rq := op.Aux.(*request)
+	if op.Err != nil {
+		rq.flags = FlagErr
+		s.failed.Add(1)
+	}
 	rq.c.out <- rq
 }
 
@@ -368,6 +475,7 @@ func (s *Server) writeLoop(c *conn) {
 	bw := bufio.NewWriter(c.nc)
 	var buf []byte
 	broken := false
+	stall := s.cfg.WriteStallTimeout
 	for rq := range c.out {
 		if !broken {
 			flags := rq.flags
@@ -383,6 +491,12 @@ func (s *Server) writeLoop(c *conn) {
 				Res:     rq.op.Res,
 				Payload: rq.payload,
 			})
+			// A peer that stops reading (slowloris) stalls each write at
+			// most WriteStallTimeout; past it the connection breaks and
+			// its remaining responses are abandoned, freeing the window.
+			if stall > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(stall))
+			}
 			if _, err := bw.Write(buf); err != nil {
 				broken = true
 			} else if len(c.out) == 0 {
@@ -392,6 +506,12 @@ func (s *Server) writeLoop(c *conn) {
 				if err := bw.Flush(); err != nil {
 					broken = true
 				}
+			}
+			if broken {
+				// Close the socket so the reader, likely parked in
+				// ReadFrame, errors out promptly and teardown reclaims
+				// the window slots of a dead connection.
+				c.nc.Close()
 			}
 		}
 		s.completed.Add(1)

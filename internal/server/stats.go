@@ -17,12 +17,26 @@ type Stats struct {
 	// Conns is the current connection count.
 	Conns int64 `json:"conns"`
 	// Accepted, Rejected, and Completed count operations admitted into
-	// the pump, refused (bad op, saturation, shutdown), and responded
-	// to (including rejections and stats reads).
+	// the pump, refused (bad op, saturation cap, shutdown), and
+	// responded to. Immediate counts the subset of Completed that never
+	// entered the pump (stats reads and rejections), so the books
+	// balance as completed == accepted + immediate once the server is
+	// quiescent. Failed counts accepted operations whose batch group
+	// panicked — they completed, with FlagErr.
 	Accepted  int64 `json:"accepted"`
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
-	// OpsPerSec is Completed averaged over the uptime.
+	Immediate int64 `json:"immediate"`
+	Failed    int64 `json:"failed"`
+	// DecodeErrors counts connections dropped for malformed frames
+	// (oversized length prefixes, short request bodies).
+	DecodeErrors int64 `json:"decode_errors"`
+	// BatchPanics counts batch groups whose BOP panicked and was
+	// contained (each may have failed several operations).
+	BatchPanics int64 `json:"batch_panics"`
+	// OpsPerSec is batched throughput — Completed minus Immediate,
+	// averaged over the uptime — so stats polling and rejected garbage
+	// do not inflate the figure of merit.
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// Batches and BatchedOps count executed batches and the operations
 	// they carried; MeanBatch is their ratio — the achieved batch size,
@@ -40,18 +54,22 @@ func (s *Server) Snapshot() Stats {
 	up := time.Since(s.start).Seconds()
 	batches, ops := s.rt.LiveBatchStats()
 	st := Stats{
-		Workers:    s.rt.Workers(),
-		UptimeSec:  up,
-		Conns:      s.curConns.Load(),
-		Accepted:   s.accepted.Load(),
-		Rejected:   s.rejected.Load(),
-		Completed:  s.completed.Load(),
-		Batches:    batches,
-		BatchedOps: ops,
-		QueueDepth: s.pump.Depth(),
+		Workers:      s.rt.Workers(),
+		UptimeSec:    up,
+		Conns:        s.curConns.Load(),
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Completed:    s.completed.Load(),
+		Immediate:    s.immediate.Load(),
+		Failed:       s.failed.Load(),
+		DecodeErrors: s.decodeErr.Load(),
+		BatchPanics:  s.rt.BatchPanics(),
+		Batches:      batches,
+		BatchedOps:   ops,
+		QueueDepth:   s.pump.Depth(),
 	}
 	if up > 0 {
-		st.OpsPerSec = float64(st.Completed) / up
+		st.OpsPerSec = float64(st.Completed-st.Immediate) / up
 	}
 	if batches > 0 {
 		st.MeanBatch = float64(ops) / float64(batches)
