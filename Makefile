@@ -51,8 +51,11 @@ examples:
 	go run ./examples/simscaling
 	go run ./examples/netclient
 
+# Coverage over the whole module (root facade, cmd/, and internals —
+# the old target silently skipped everything outside ./internal/...).
 cover:
-	go test -cover ./internal/...
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
 
 # Short fuzzing passes over the property-based fuzz targets.
 fuzz:

@@ -9,7 +9,12 @@
 //
 //	batcherd serve [-addr :7411] [-workers N] [-window 32] [-queue N]
 //	               [-idle-timeout D] [-write-stall D] [-saturation-timeout D]
+//	               [-metrics host:9100] [-trace-ring N]
 //	    Run the server until SIGINT/SIGTERM, then drain gracefully.
+//	    -metrics serves Prometheus text-format metrics at /metrics on a
+//	    separate HTTP listener; with -trace-ring it also serves /trace,
+//	    a live Chrome trace_event JSON snapshot of the scheduler's event
+//	    rings (N slots per worker).
 //
 //	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
 //	              [-read 0.5] [-window 16] [-rate 0] [-keyspace 65536]
@@ -23,6 +28,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"batcher/internal/loadgen"
+	"batcher/internal/obs"
 	"batcher/internal/server"
 )
 
@@ -65,6 +73,8 @@ func serveCmd(args []string) {
 	idle := fs.Duration("idle-timeout", 0, "reap connections idle this long (0 = 2m default, <0 disables)")
 	stall := fs.Duration("write-stall", 0, "break connections whose reads stall a response write this long (0 = 30s default, <0 disables)")
 	saturation := fs.Duration("saturation-timeout", 0, "reject requests parked this long on a saturated queue (0 = 30s default, <0 disables)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics (Prometheus text format) on this address; empty disables")
+	traceRing := fs.Int("trace-ring", 0, "scheduler event-ring slots per worker (0 disables tracing; enables /trace with -metrics)")
 	fs.Parse(args)
 
 	s, err := server.Start(server.Config{
@@ -77,12 +87,31 @@ func serveCmd(args []string) {
 		IdleTimeout:       *idle,
 		WriteStallTimeout: *stall,
 		SaturationTimeout: *saturation,
+		TraceRing:         *traceRing,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batcherd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s\n", s)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.MetricsHandler())
+		if tr := s.Tracer(); tr != nil {
+			mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				obs.WriteChromeTrace(w, tr.Snapshot())
+			})
+		}
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batcherd: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go http.Serve(ml, mux)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

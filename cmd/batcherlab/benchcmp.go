@@ -1,0 +1,117 @@
+package main
+
+// benchcmp compares two BENCH_*.json documents (as written by the
+// benchjson subcommand) and fails when a selected benchmark's ns/op
+// regressed past a ratio threshold. The nightly-bench workflow runs it
+// with the committed BENCH_sched.json as baseline, so a >25% slowdown
+// of the real-runtime BATCHER benchmark fails the job.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// loadBenchDoc reads a benchjson document. It accepts both formats the
+// subcommand writes: a single pretty-printed JSON object, or a JSONL
+// trajectory (one compact object per line, from -append) — in which
+// case the last line is the document compared.
+func loadBenchDoc(path string) (map[string]benchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]benchResult
+	if err := json.Unmarshal(raw, &doc); err == nil {
+		return doc, nil
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			return nil, fmt.Errorf("%s: not a benchjson document or JSONL trajectory: %w", path, err)
+		}
+		return doc, nil
+	}
+	return nil, fmt.Errorf("%s: empty", path)
+}
+
+// benchRegressions compares every baseline benchmark matching re
+// against current and returns one message per regression (current
+// ns/op more than maxRatio times baseline). Matching nothing is an
+// error — a renamed benchmark must not silently disarm the gate.
+func benchRegressions(baseline, current map[string]benchResult, re *regexp.Regexp, maxRatio float64) ([]string, error) {
+	var regressions []string
+	matched := 0
+	for name, base := range baseline {
+		if !re.MatchString(name) {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			return nil, fmt.Errorf("benchmark %q in baseline but missing from current run", name)
+		}
+		matched++
+		if base.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchmark %q has non-positive baseline ns/op %v", name, base.NsPerOp)
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		if ratio > maxRatio {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx allowed)",
+				name, cur.NsPerOp, base.NsPerOp, ratio, maxRatio))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no baseline benchmark matches %q", re)
+	}
+	return regressions, nil
+}
+
+// benchcmpCmd implements the benchcmp subcommand.
+func benchcmpCmd(args []string) {
+	fs := flag.NewFlagSet("benchcmp", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "BENCH_sched.json", "baseline benchjson document")
+	currentPath := fs.String("current", "", "current benchjson document (required)")
+	benchRe := fs.String("bench", "Fig5Real.*BATCHER", "regexp selecting the gated benchmarks")
+	maxRatio := fs.Float64("max-ratio", 1.25, "fail when current/baseline ns/op exceeds this")
+	fs.Parse(args)
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -current is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	baseline, err := loadBenchDoc(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	current, err := loadBenchDoc(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	regressions, err := benchRegressions(baseline, current, re, *maxRatio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchcmp: REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: no regressions (%s vs %s, gate %.2fx on %s)\n",
+		*currentPath, *baselinePath, *maxRatio, *benchRe)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func benchDoc(ns float64) map[string]benchResult {
+	return map[string]benchResult{
+		"BenchmarkFig5Real/engine=BATCHER": {Iterations: 10, NsPerOp: ns},
+		"BenchmarkFig5Real/engine=SEQ":     {Iterations: 10, NsPerOp: 2 * ns},
+		"BenchmarkUnrelated":               {Iterations: 100, NsPerOp: 5},
+	}
+}
+
+var gateRe = regexp.MustCompile("Fig5Real.*BATCHER")
+
+// TestBenchRegressionsDetectsSlowdown is the gate's own acceptance
+// test: a synthetic 2x slowdown of the gated benchmark must fail.
+func TestBenchRegressionsDetectsSlowdown(t *testing.T) {
+	base := benchDoc(100)
+	slow := benchDoc(200) // 2x > 1.25x allowed
+	regs, err := benchRegressions(base, slow, gateRe, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("2x slowdown produced %d regressions, want 1: %v", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "BATCHER") || !strings.Contains(regs[0], "2.00x") {
+		t.Fatalf("regression message %q missing benchmark or ratio", regs[0])
+	}
+}
+
+func TestBenchRegressionsPassesWithinNoise(t *testing.T) {
+	base := benchDoc(100)
+	noisy := benchDoc(120) // 1.2x < 1.25x allowed
+	regs, err := benchRegressions(base, noisy, gateRe, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("1.2x drift flagged: %v", regs)
+	}
+	// The unrelated benchmark regressing must not trip the gate.
+	worse := benchDoc(100)
+	worse["BenchmarkUnrelated"] = benchResult{Iterations: 1, NsPerOp: 5000}
+	if regs, err := benchRegressions(base, worse, gateRe, 1.25); err != nil || len(regs) != 0 {
+		t.Fatalf("unmatched benchmark tripped the gate: %v %v", regs, err)
+	}
+}
+
+func TestBenchRegressionsRefusesSilentDisarm(t *testing.T) {
+	base := benchDoc(100)
+	if _, err := benchRegressions(base, base, regexp.MustCompile("Renamed"), 1.25); err == nil {
+		t.Fatal("matching nothing must be an error, not a pass")
+	}
+	cur := benchDoc(100)
+	delete(cur, "BenchmarkFig5Real/engine=BATCHER")
+	if _, err := benchRegressions(base, cur, gateRe, 1.25); err == nil {
+		t.Fatal("benchmark missing from current must be an error")
+	}
+}
+
+// TestLoadBenchDoc covers both on-disk formats benchjson writes.
+func TestLoadBenchDoc(t *testing.T) {
+	dir := t.TempDir()
+	pretty := filepath.Join(dir, "pretty.json")
+	os.WriteFile(pretty, []byte(`{
+  "BenchmarkFig5Real/engine=BATCHER": {"iterations": 5, "ns_per_op": 123.5}
+}`), 0o644)
+	doc, err := loadBenchDoc(pretty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["BenchmarkFig5Real/engine=BATCHER"].NsPerOp != 123.5 {
+		t.Fatalf("pretty doc parsed wrong: %+v", doc)
+	}
+
+	jsonl := filepath.Join(dir, "traj.jsonl")
+	os.WriteFile(jsonl, []byte(
+		`{"BenchmarkFig5Real/engine=BATCHER":{"iterations":5,"ns_per_op":100}}`+"\n"+
+			`{"BenchmarkFig5Real/engine=BATCHER":{"iterations":5,"ns_per_op":200}}`+"\n"), 0o644)
+	doc, err = loadBenchDoc(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["BenchmarkFig5Real/engine=BATCHER"].NsPerOp != 200 {
+		t.Fatalf("JSONL fallback did not take the last line: %+v", doc)
+	}
+
+	if _, err := loadBenchDoc(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

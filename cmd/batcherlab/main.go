@@ -42,6 +42,8 @@ var (
 	quick   = flag.Bool("quick", false, "run with smaller, CI-sized parameters")
 	seed    = flag.Uint64("seed", 20140623, "simulator seed")
 	workers = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for real-runtime experiments")
+	chrome  = flag.String("chrome", "",
+		"trace subcommand: run a real traced workload and write Chrome trace_event JSON to this file")
 )
 
 func main() {
@@ -54,6 +56,11 @@ func main() {
 		// Not an experiment: a filter turning `go test -bench -benchmem`
 		// output into JSON (see benchjson.go). Excluded from "all".
 		benchjsonCmd(flag.Args()[1:])
+		return
+	}
+	if cmd == "benchcmp" {
+		// Also not an experiment: the nightly perf gate (benchcmp.go).
+		benchcmpCmd(flag.Args()[1:])
 		return
 	}
 	ran := false
@@ -199,6 +206,15 @@ func ablateCmd() {
 }
 
 func traceCmd() {
+	if *chrome != "" {
+		// Real-runtime mode: trace an actual scheduler run and export it
+		// for chrome://tracing (tracereal.go).
+		if err := traceRealChrome(*chrome, *workers, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	// A small Fig5-style run with per-worker activity timelines, showing
 	// the scheduler's phases: core execution (C), operation publication
 	// (D), batch setup (s), BOP work (B), launches (L), resumes (r),

@@ -1,3 +1,3 @@
 module batcher
 
-go 1.24
+go 1.22

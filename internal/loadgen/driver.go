@@ -2,10 +2,10 @@ package loadgen
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"batcher/internal/obs"
 	"batcher/internal/rng"
 	"batcher/internal/server"
 )
@@ -49,15 +49,23 @@ type Result struct {
 	Elapsed time.Duration
 	// OpsPerSec is Responses / Elapsed.
 	OpsPerSec float64
-	// Latency percentiles over per-request round-trip times.
-	P50, P95, P99, Max time.Duration
+	// Latency percentiles over per-request round-trip times, estimated
+	// from a log-bucketed histogram (relative error at most 1/32, i.e.
+	// ~3.1%, always rounding up). Max is exact. The histogram keeps
+	// per-sample cost constant and allocation-free regardless of run
+	// length — a million-op open-loop run no longer buffers and sorts a
+	// million durations.
+	P50, P95, P99, P999, Max time.Duration
+	// Latency is the merged histogram itself, for callers that want more
+	// than the canned percentiles (nil until at least one run merged).
+	Latency *obs.Histogram
 }
 
 func (r Result) String() string {
 	return fmt.Sprintf(
-		"sent=%d resp=%d err=%d elapsed=%.3fs throughput=%.0f ops/s p50=%s p95=%s p99=%s max=%s",
+		"sent=%d resp=%d err=%d elapsed=%.3fs throughput=%.0f ops/s p50=%s p95=%s p99=%s p999=%s max=%s",
 		r.Sent, r.Responses, r.Errors, r.Elapsed.Seconds(), r.OpsPerSec,
-		r.P50, r.P95, r.P99, r.Max)
+		r.P50, r.P95, r.P99, r.P999, r.Max)
 }
 
 // Run executes the workload and reports aggregate results. Each
@@ -80,15 +88,15 @@ func Run(w Workload) (Result, error) {
 	var (
 		mu    sync.Mutex
 		res   Result
-		lats  []time.Duration
+		hist  = obs.NewHistogram()
 		first error
 	)
-	report := func(sent, responses, errors int64, l []time.Duration, err error) {
+	report := func(sent, responses, errors int64, h *obs.Histogram, err error) {
 		mu.Lock()
 		res.Sent += sent
 		res.Responses += responses
 		res.Errors += errors
-		lats = append(lats, l...)
+		hist.Merge(h)
 		if err != nil && first == nil {
 			first = err
 		}
@@ -113,14 +121,11 @@ func Run(w Workload) (Result, error) {
 	if res.Elapsed > 0 {
 		res.OpsPerSec = float64(res.Responses) / res.Elapsed.Seconds()
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-		pct := func(p float64) time.Duration {
-			i := int(p * float64(len(lats)-1))
-			return lats[i]
-		}
-		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
-		res.Max = lats[len(lats)-1]
+	if hist.Count() > 0 {
+		res.Latency = hist
+		pct := func(p float64) time.Duration { return time.Duration(hist.Quantile(p)) }
+		res.P50, res.P95, res.P99, res.P999 = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
+		res.Max = time.Duration(hist.Max())
 	}
 	return res, nil
 }
@@ -130,9 +135,9 @@ func Run(w Workload) (Result, error) {
 // flight. In open-loop mode a sender paces requests on schedule while a
 // separate receiver drains responses. Responses arrive in completion
 // order, so send timestamps are matched to responses by request id.
-func runConn(w Workload, idx int, report func(int64, int64, int64, []time.Duration, error)) {
+func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogram, error)) {
 	var sent, responses, errors int64
-	lats := make([]time.Duration, 0, w.Ops)
+	lats := obs.NewHistogram()
 	fail := func(err error) { report(sent, responses, errors, lats, err) }
 
 	c, err := Dial(w.Addr)
@@ -171,7 +176,7 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, []time.Durati
 		delete(sendTimes, resp.ID)
 		stMu.Unlock()
 		if ok {
-			lats = append(lats, time.Since(t0))
+			lats.Observe(int64(time.Since(t0)))
 		}
 		responses++
 		if resp.Err() {

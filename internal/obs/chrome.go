@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: a Snapshot rendered as the JSON object
+// format chrome://tracing and Perfetto load directly. One track (tid)
+// per ring; batch executions appear as complete ("X") spans with their
+// size in args, parks as begin/end ("B"/"E") spans, and everything else
+// as instant ("i") events. Timestamps are microseconds, as the format
+// requires.
+//
+// The export path allocates freely — it runs after (or beside) the
+// traced workload, never inside it.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders events (as returned by Tracer.Snapshot) to w
+// in Chrome trace_event JSON object format.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events))}
+	// Parks emit B/E pairs; a wake whose park was overwritten by ring
+	// wraparound must not emit an unmatched E (it would corrupt the
+	// track's span stack), so track open parks per ring.
+	openPark := make(map[int32]bool)
+	for _, e := range events {
+		ce := chromeEvent{Name: e.Kind.String(), TS: us(e.TS), TID: e.Ring}
+		switch e.Kind {
+		case EvBatchLand:
+			// Render the batch as a span covering its execution.
+			ce.Name = "batch"
+			ce.Ph = "X"
+			ce.TS = us(e.TS - e.B)
+			ce.Dur = us(e.B)
+			ce.Args = map[string]any{"size": e.A, "dur_ns": e.B}
+		case EvPark:
+			ce.Name = "parked"
+			ce.Ph = "B"
+			openPark[e.Ring] = true
+		case EvWake:
+			if !openPark[e.Ring] {
+				continue
+			}
+			openPark[e.Ring] = false
+			ce.Name = "parked"
+			ce.Ph = "E"
+		case EvSteal:
+			ce.Ph = "i"
+			ce.S = "t"
+			which := "core"
+			if e.B != 0 {
+				which = "batch"
+			}
+			ce.Args = map[string]any{"victim": e.A, "deque": which}
+		case EvPumpAdmit:
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{"queue_depth": e.A}
+		case EvPumpReject:
+			ce.Ph = "i"
+			ce.S = "t"
+			why := "saturated"
+			if e.A == 2 {
+				why = "closed"
+			}
+			ce.Args = map[string]any{"reason": why}
+		case EvPanicContained:
+			ce.Ph = "i"
+			ce.S = "g" // global-scope instant: draw it loud
+			ce.Args = map[string]any{"group": e.A}
+		default: // EvBatchLaunch and any future instants
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	// Close any park left open at snapshot time so spans balance.
+	var last float64
+	if n := len(events); n > 0 {
+		last = us(events[n-1].TS)
+	}
+	for tid, open := range openPark {
+		if open {
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "parked", Ph: "E", TS: last, TID: tid})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a set of named metrics rendered in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges are
+// function-backed — the producer keeps its own atomics and the registry
+// reads them at scrape time, so registration adds no cost to any hot
+// path. Histograms are registered directly and rendered with cumulative
+// le buckets.
+//
+// Several metrics may share one family name with different label sets
+// (e.g. a latency histogram per data structure); the renderer groups
+// them so each family's HELP/TYPE header appears exactly once.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+// Label is one name="value" pair. Labels render in the order given.
+type Label struct {
+	Name, Value string
+}
+
+type entry struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []Label
+	intFn  func() int64   // counter
+	gaugeF func() float64 // gauge
+	hist   *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be safe to call from any goroutine (an atomic load).
+func (r *Registry) CounterFunc(name, help string, labels []Label, fn func() int64) {
+	r.add(&entry{name: name, help: help, typ: "counter", labels: labels, intFn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels []Label, fn func() float64) {
+	r.add(&entry{name: name, help: help, typ: "gauge", labels: labels, gaugeF: fn})
+}
+
+// Histogram creates, registers, and returns a histogram. The caller
+// records into it directly (Observe is lock-free); scrapes render its
+// cumulative buckets, sum, and count.
+func (r *Registry) Histogram(name, help string, labels []Label) *Histogram {
+	h := NewHistogram()
+	r.RegisterHistogram(name, help, labels, h)
+	return h
+}
+
+// RegisterHistogram registers an existing histogram (e.g. one also
+// handed to the scheduler as its batch-size sink).
+func (r *Registry) RegisterHistogram(name, help string, labels []Label, h *Histogram) {
+	r.add(&entry{name: name, help: help, typ: "histogram", labels: labels, hist: h})
+}
+
+func (r *Registry) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, old := range r.entries {
+		if old.name == e.name && labelsEqual(old.labels, e.labels) {
+			panic("obs: duplicate metric registration: " + e.name)
+		}
+	}
+	r.entries = append(r.entries, e)
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders every registered metric in Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	// Group by family name, preserving first-appearance order, so each
+	// family's samples are contiguous under one HELP/TYPE header (the
+	// format requires it).
+	order := make([]string, 0, len(entries))
+	fams := make(map[string][]*entry)
+	for _, e := range entries {
+		if _, seen := fams[e.name]; !seen {
+			order = append(order, e.name)
+		}
+		fams[e.name] = append(fams[e.name], e)
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		fam := fams[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(fam[0].help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, fam[0].typ)
+		for _, e := range fam {
+			switch e.typ {
+			case "counter":
+				fmt.Fprintf(bw, "%s%s %d\n", e.name, labelString(e.labels, nil), e.intFn())
+			case "gauge":
+				fmt.Fprintf(bw, "%s%s %s\n", e.name, labelString(e.labels, nil),
+					strconv.FormatFloat(e.gaugeF(), 'g', -1, 64))
+			case "histogram":
+				// Read count before the buckets so the +Inf bucket can
+				// never be smaller than the bucket counts rendered with it
+				// (the histogram is live; Cumulative re-reads the counts).
+				buckets := e.hist.Cumulative()
+				var highest int64
+				for _, b := range buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", e.name,
+						labelString(e.labels, &Label{"le", strconv.FormatInt(b.Upper, 10)}), b.Count)
+					highest = b.Count
+				}
+				count := e.hist.Count()
+				if count < highest {
+					count = highest
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", e.name,
+					labelString(e.labels, &Label{"le", "+Inf"}), count)
+				fmt.Fprintf(bw, "%s_sum%s %d\n", e.name, labelString(e.labels, nil), e.hist.Sum())
+				fmt.Fprintf(bw, "%s_count%s %d\n", e.name, labelString(e.labels, nil), count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {a="b",c="d"}, appending extra (the le label) if
+// non-nil; it returns "" for no labels.
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extra.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the registry in text format —
+// mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Names returns the registered family names in exposition order (tests
+// and the stats CLI use it).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	seen := make(map[string]bool)
+	for _, e := range r.entries {
+		if !seen[e.name] {
+			seen[e.name] = true
+			names = append(names, e.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// validatePromText is a strict checker for the subset of the Prometheus
+// text exposition format the registry emits: HELP/TYPE headers once per
+// family before its samples, sample lines of the form
+// name{label="value",...} value, histograms with increasing le bounds,
+// monotone cumulative counts, and _count equal to the +Inf bucket. It
+// returns the parsed sample count so tests can assert coverage.
+func validatePromText(t *testing.T, r io.Reader) int {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|\+Inf)$`)
+	sc := bufio.NewScanner(r)
+	samples := 0
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	var curFamily string
+	type histState struct {
+		lastLe    float64
+		lastCount float64
+		infCount  float64
+		sawInf    bool
+	}
+	hists := map[string]*histState{} // keyed by family+labels-minus-le
+	counts := map[string]float64{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) < 1 || parts[0] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown TYPE %q in %q", typ, line)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("family %q declared twice (samples not contiguous)", name)
+			}
+			typed[name] = typ
+			curFamily = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if base != curFamily {
+			t.Fatalf("sample %q outside its family block (current %q)", name, curFamily)
+		}
+		if !helped[base] {
+			t.Fatalf("sample %q has no HELP", name)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "NaN" {
+			t.Fatalf("bad value %q in %q", valStr, line)
+		}
+		samples++
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le := ""
+			var rest []string
+			for _, part := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if strings.HasPrefix(part, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(part, `le="`), `"`)
+				} else if part != "" {
+					rest = append(rest, part)
+				}
+			}
+			if le == "" {
+				t.Fatalf("histogram bucket without le label: %q", line)
+			}
+			key := base + "|" + strings.Join(rest, ",")
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: -1, lastCount: -1}
+				hists[key] = st
+			}
+			if le == "+Inf" {
+				st.sawInf = true
+				st.infCount = val
+				if val < st.lastCount {
+					t.Fatalf("+Inf bucket %v below prior cumulative %v: %q", val, st.lastCount, line)
+				}
+			} else {
+				leV, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bad le %q: %q", le, line)
+				}
+				if st.sawInf {
+					t.Fatalf("bucket after +Inf: %q", line)
+				}
+				if leV <= st.lastLe {
+					t.Fatalf("le bounds not increasing (%v after %v): %q", leV, st.lastLe, line)
+				}
+				if val < st.lastCount {
+					t.Fatalf("cumulative count decreasing: %q", line)
+				}
+				st.lastLe, st.lastCount = leV, val
+			}
+		}
+		if strings.HasSuffix(name, "_count") && typed[base] == "histogram" {
+			counts[base+"|"+strings.Trim(labels, "{}")] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for key, st := range hists {
+		if !st.sawInf {
+			t.Fatalf("histogram %q has no +Inf bucket", key)
+		}
+	}
+	for key, c := range counts {
+		// Match against the recorded hist states: the +Inf bucket of the
+		// same label set (count lines carry no le).
+		st, ok := hists[key]
+		if !ok {
+			t.Fatalf("histogram %q has _count but no buckets", key)
+		}
+		if st.infCount != c {
+			t.Fatalf("histogram %q: _count %v != +Inf bucket %v", key, c, st.infCount)
+		}
+	}
+	return samples
+}
+
+func TestRegistryTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	var ops atomic.Int64
+	ops.Store(12345)
+	reg.CounterFunc("batcherd_ops_total", "operations completed", nil, ops.Load)
+	reg.GaugeFunc("batcherd_queue_depth", "pump ingress depth", nil, func() float64 { return 7 })
+	reg.GaugeFunc("batcherd_uptime_seconds", `uptime with "quotes" and \slashes`, nil, func() float64 { return 1.5 })
+	for _, ds := range []string{"counter", "skiplist"} {
+		h := reg.Histogram("batcherd_service_latency_ns", "per-op service latency",
+			[]Label{{"ds", ds}})
+		for i := int64(1); i < 5000; i += 7 {
+			h.Observe(i * 1000)
+		}
+	}
+	hb := reg.Histogram("batcherd_batch_size", "ops per executed batch", nil)
+	for i := 0; i < 100; i++ {
+		hb.Observe(int64(i % 8))
+	}
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	n := validatePromText(t, resp.Body)
+	if n < 10 {
+		t.Fatalf("scrape produced only %d samples", n)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterFunc("x_total", "x", nil, func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.CounterFunc("x_total", "x", nil, func() int64 { return 0 })
+}
+
+func TestRegistryFamilyGrouping(t *testing.T) {
+	// Interleave registrations of two families; exposition must still
+	// group each family's samples under one header.
+	reg := NewRegistry()
+	reg.CounterFunc("a_total", "a", []Label{{"k", "1"}}, func() int64 { return 1 })
+	reg.CounterFunc("b_total", "b", nil, func() int64 { return 2 })
+	reg.CounterFunc("a_total", "a", []Label{{"k", "2"}}, func() int64 { return 3 })
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validatePromText(t, strings.NewReader(sb.String()))
+	out := sb.String()
+	if strings.Count(out, "# TYPE a_total") != 1 || strings.Count(out, "# TYPE b_total") != 1 {
+		t.Fatalf("family headers not unique:\n%s", out)
+	}
+	if !strings.Contains(out, `a_total{k="1"} 1`) || !strings.Contains(out, `a_total{k="2"} 3`) {
+		t.Fatalf("labeled samples missing:\n%s", out)
+	}
+}

@@ -8,6 +8,9 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"batcher/internal/obs"
 )
 
 // OpKind is a data-structure-specific operation code. The scheduler never
@@ -138,6 +141,9 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 				// joins on it — so whichever worker runs it recycles
 				// the frame (recycleAfterRun).
 				w.m.BatchesLaunched++
+				if tr := rt.tracer; tr != nil {
+					tr.Record(w.id, obs.EvBatchLaunch, 0, 0)
+				}
 				lt := w.getTask()
 				lt.fn = rt.launchFn
 				lt.kind = KindBatch
@@ -226,6 +232,10 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 		panic("sched: Invariant 1 violated: more than one batch active")
 	}
 	s := &rt.scratch
+	var t0 time.Time
+	if rt.tracer != nil {
+		t0 = time.Now()
+	}
 
 	// Step 1: acknowledge pending records (pending -> executing) and
 	// collect them. The status flips run as a parallel loop, as in the
@@ -279,6 +289,16 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	c.w.m.BatchedOps += int64(len(working))
 	rt.liveBatches.Add(1)
 	rt.liveOps.Add(int64(len(working)))
+	if h := rt.batchHist; h != nil {
+		h.Observe(int64(len(working)))
+	}
+	if tr := rt.tracer; tr != nil {
+		dur := int64(time.Since(t0))
+		if dur < 1 {
+			dur = 1 // keep the exported span visible on coarse clocks
+		}
+		tr.Record(c.w.id, obs.EvBatchLand, int64(len(working)), dur)
+	}
 
 	// Step 4: mark participants done (executing -> done). Participants
 	// cannot have changed status themselves, so plain stores suffice.

@@ -43,6 +43,8 @@ package sched
 import (
 	"fmt"
 	goruntime "runtime"
+
+	"batcher/internal/obs"
 )
 
 // BatchPanicError is the error stored in OpRecord.Err for every
@@ -140,6 +142,9 @@ func (rt *Runtime) runGroupContained(c *Ctx, w *worker, gi int, g *dsGroup) {
 // the groupLive wait in runGroup.
 func (rt *Runtime) containGroupPanic(w *worker, gi int, v any, entry int64) {
 	rt.batchPanics.Add(1)
+	if tr := rt.tracer; tr != nil {
+		tr.Record(w.id, obs.EvPanicContained, int64(gi), 0)
+	}
 	s := &rt.scratch
 	s.panicMu.Lock()
 	if s.panicked[gi] == nil {

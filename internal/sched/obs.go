@@ -1,0 +1,77 @@
+package sched
+
+// This file wires the runtime into the observability layer
+// (internal/obs). All hooks follow one discipline: a nil-guarded
+// pointer read on the hot path, so a runtime with observability
+// disabled pays a single predictable branch per event site and
+// allocates nothing (the AllocsPerRun tests in alloc_test.go and
+// obs_test.go pin both configurations). See DESIGN.md §10.
+//
+// Event-to-ring mapping: worker i records on ring i; events produced
+// off the workers (Pump.Submit runs on network-reader goroutines) go to
+// the extra "external" ring, index P. Runtime.NewTracer sizes a tracer
+// accordingly.
+
+import (
+	"batcher/internal/obs"
+)
+
+// NewTracer creates a tracer sized for this runtime: one ring per
+// worker plus one external ring for non-worker goroutines, each holding
+// perRing events (rounded up to a power of two). Attach it with
+// SetTracer.
+func (rt *Runtime) NewTracer(perRing int) *obs.Tracer {
+	return obs.NewTracer(len(rt.workers)+1, perRing)
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer. The
+// scheduler records batch launches and landings, successful steals,
+// parks/wakes, pump admissions/rejections, and contained batch panics.
+// Call only while no Run or Serve is in progress; workers read the
+// pointer unsynchronized.
+func (rt *Runtime) SetTracer(tr *obs.Tracer) {
+	if rt.running.Load() {
+		panic("sched: SetTracer called during Run")
+	}
+	rt.tracer = tr
+}
+
+// Tracer returns the attached tracer, or nil.
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// SetBatchSizeHistogram attaches (or detaches) a histogram that
+// receives one observation — the working-set size — per executed
+// nonempty batch. Its Mean therefore equals BatchedOps/BatchesExecuted
+// exactly, the quantity LiveBatchStats reports, while its quantiles
+// expose the full batch-size distribution Theorem 1's s-term depends
+// on. Call only while no Run or Serve is in progress.
+func (rt *Runtime) SetBatchSizeHistogram(h *obs.Histogram) {
+	if rt.running.Load() {
+		panic("sched: SetBatchSizeHistogram called during Run")
+	}
+	rt.batchHist = h
+}
+
+// LiveSteals returns the number of successful steals over the runtime's
+// lifetime. Like LiveBatchStats it is an atomic maintained on the steal
+// path (one uncontended add per successful steal — failed attempts, the
+// common case under low load, touch nothing), so stats endpoints can
+// read it while serving.
+func (rt *Runtime) LiveSteals() int64 { return rt.liveSteals.Load() }
+
+// parkAndSleep is the shared tail of every idle-park site: count the
+// park, trace it (park/wake bracket the sleep so trace viewers render
+// parked time as a span), sleep until woken, and resume the idle ladder
+// at the post-park level.
+func (w *worker) parkAndSleep(epoch uint64) {
+	w.m.Parks++
+	rt := w.rt
+	if tr := rt.tracer; tr != nil {
+		tr.Record(w.id, obs.EvPark, 0, 0)
+		rt.idle.sleep(epoch)
+		tr.Record(w.id, obs.EvWake, 0, 0)
+	} else {
+		rt.idle.sleep(epoch)
+	}
+	w.idleFails = idleResume
+}

@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"batcher/internal/obs"
+)
+
+// TestTracedRunEmitsEvents drives a batching workload with a tracer and
+// batch-size histogram attached and checks the observability contract:
+// launch/land events appear, and the histogram agrees exactly with the
+// LiveBatchStats counters (same increment sites).
+func TestTracedRunEmitsEvents(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 801})
+	tr := rt.NewTracer(4096)
+	rt.SetTracer(tr)
+	h := obs.NewHistogram()
+	rt.SetBatchSizeHistogram(h)
+
+	ds := &sumDS{}
+	const n = 500
+	rt.Run(func(c *Ctx) {
+		c.For(0, n, 1, func(cc *Ctx, i int) {
+			op := &OpRecord{DS: ds, Val: 1}
+			cc.Batchify(op)
+		})
+	})
+
+	if tr.Rings() != rt.Workers()+1 {
+		t.Fatalf("NewTracer built %d rings for %d workers", tr.Rings(), rt.Workers())
+	}
+	evs := tr.Snapshot()
+	kinds := obs.CountKinds(evs)
+	batches, ops := rt.LiveBatchStats()
+	if batches == 0 || ops != n {
+		t.Fatalf("LiveBatchStats = %d batches / %d ops, want >0 / %d", batches, ops, n)
+	}
+	if kinds[obs.EvBatchLaunch] == 0 {
+		t.Fatal("no batch-launch events recorded")
+	}
+	// The rings are large enough that nothing was overwritten, so land
+	// events match executed batches one-to-one and their sizes sum to
+	// the op count.
+	if int64(kinds[obs.EvBatchLand]) != batches {
+		t.Fatalf("%d land events for %d batches", kinds[obs.EvBatchLand], batches)
+	}
+	var sized int64
+	for _, ev := range evs {
+		if ev.Kind == obs.EvBatchLand {
+			if ev.A < 1 || ev.A > int64(rt.Workers()) {
+				t.Fatalf("land event with batch size %d outside 1..P", ev.A)
+			}
+			if ev.B < 1 {
+				t.Fatalf("land event with non-positive duration %d", ev.B)
+			}
+			sized += ev.A
+		}
+	}
+	if sized != ops {
+		t.Fatalf("land event sizes sum to %d, want %d", sized, ops)
+	}
+
+	// Histogram and LiveBatchStats are bumped at the same site with the
+	// same values, so they agree exactly — the /metrics mean is the
+	// LiveBatchStats mean.
+	if h.Count() != batches || h.Sum() != ops {
+		t.Fatalf("batch histogram %d/%d disagrees with LiveBatchStats %d/%d",
+			h.Count(), h.Sum(), batches, ops)
+	}
+	if rt.LiveSteals() < 0 {
+		t.Fatal("LiveSteals negative")
+	}
+}
+
+// TestTracedStealsAndParks uses an imbalanced workload on several
+// workers so steals (and usually parks) occur, and checks they surface
+// with valid arguments.
+func TestTracedStealsAndParks(t *testing.T) {
+	rt := New(Config{Workers: 8, Seed: 802})
+	tr := rt.NewTracer(1 << 14)
+	rt.SetTracer(tr)
+	ds := &sumDS{}
+	rt.Run(func(c *Ctx) {
+		c.For(0, 2000, 1, func(cc *Ctx, i int) {
+			op := &OpRecord{DS: ds, Val: 1}
+			cc.Batchify(op)
+		})
+	})
+	evs := tr.Snapshot()
+	kinds := obs.CountKinds(evs)
+	if int64(kinds[obs.EvSteal]) == 0 && rt.LiveSteals() > 0 {
+		t.Fatalf("LiveSteals=%d but no steal events survived in %d-slot rings",
+			rt.LiveSteals(), 1<<14)
+	}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.EvSteal:
+			if ev.A < 0 || ev.A >= int64(rt.Workers()) || ev.A == int64(ev.Ring) {
+				t.Fatalf("steal event: victim %d invalid for thief ring %d", ev.A, ev.Ring)
+			}
+			if ev.B != 0 && ev.B != 1 {
+				t.Fatalf("steal event: deque flag %d", ev.B)
+			}
+		case obs.EvPark, obs.EvWake:
+			if int(ev.Ring) >= rt.Workers() {
+				t.Fatalf("park/wake on non-worker ring %d", ev.Ring)
+			}
+		}
+	}
+	if m := rt.Metrics(); m.SuccessfulSteals != rt.LiveSteals() {
+		t.Fatalf("LiveSteals=%d disagrees with quiescent metrics %d",
+			rt.LiveSteals(), m.SuccessfulSteals)
+	}
+}
+
+// TestPumpTracedAdmitReject checks Submit's admission events land on the
+// external ring with the documented reason codes.
+func TestPumpTracedAdmitReject(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 803})
+	tr := rt.NewTracer(256)
+	rt.SetTracer(tr)
+	ds := &sumDS{}
+	p := NewPump(rt, PumpConfig{QueueCap: 1})
+
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); !errors.Is(err, ErrPumpSaturated) {
+		t.Fatalf("second Submit: %v, want ErrPumpSaturated", err)
+	}
+	p.Close()
+	if err := p.Submit(&OpRecord{DS: ds, Val: 1}); !errors.Is(err, ErrPumpClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrPumpClosed", err)
+	}
+
+	ext := int32(tr.ExternalRing())
+	var admits, satur, closed int
+	for _, ev := range tr.Snapshot() {
+		if ev.Ring != ext {
+			t.Fatalf("pump event %v on ring %d, want external %d", ev.Kind, ev.Ring, ext)
+		}
+		switch {
+		case ev.Kind == obs.EvPumpAdmit:
+			admits++
+			if ev.A != 1 {
+				t.Fatalf("admit depth %d, want 1", ev.A)
+			}
+		case ev.Kind == obs.EvPumpReject && ev.A == 1:
+			satur++
+		case ev.Kind == obs.EvPumpReject && ev.A == 2:
+			closed++
+		}
+	}
+	if admits != 1 || satur != 1 || closed != 1 {
+		t.Fatalf("admit/saturated/closed = %d/%d/%d, want 1/1/1", admits, satur, closed)
+	}
+}
+
+// panicEveryDS panics on every batch; used to observe containment events.
+type panicEveryDS struct{}
+
+func (panicEveryDS) RunBatch(_ *Ctx, ops []*OpRecord) { panic("traced boom") }
+
+func TestTracedPanicContainment(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 804})
+	tr := rt.NewTracer(256)
+	rt.SetTracer(tr)
+	rt.ContainBatchPanics(true)
+	ds := panicEveryDS{}
+	var op OpRecord
+	rt.Run(func(c *Ctx) {
+		op = OpRecord{DS: ds, Val: 1}
+		c.Batchify(&op)
+	})
+	var bpe *BatchPanicError
+	if !errors.As(op.Err, &bpe) {
+		t.Fatalf("op.Err = %v, want BatchPanicError", op.Err)
+	}
+	if n := obs.CountKinds(tr.Snapshot())[obs.EvPanicContained]; int64(n) != rt.BatchPanics() {
+		t.Fatalf("%d panic-contained events for %d contained panics", n, rt.BatchPanics())
+	}
+}
+
+// TestSetTracerDuringRunPanics pins the quiescence contract.
+func TestSetTracerDuringRunPanics(t *testing.T) {
+	rt := New(Config{Workers: 1, Seed: 805})
+	rt.Run(func(c *Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetTracer during Run did not panic")
+			}
+		}()
+		rt.SetTracer(rt.NewTracer(64))
+	})
+	rt2 := New(Config{Workers: 1, Seed: 806})
+	rt2.Run(func(c *Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetBatchSizeHistogram during Run did not panic")
+			}
+		}()
+		rt2.SetBatchSizeHistogram(obs.NewHistogram())
+	})
+}
+
+// TestBatchifyZeroAllocsTraced is the enabled-path twin of
+// TestBatchifyRoundTripZeroAllocs: tracing and the batch-size histogram
+// are preallocated, so even with observability ON the round trip must
+// not allocate.
+func TestBatchifyZeroAllocsTraced(t *testing.T) {
+	skipIfRace(t)
+	h := &allocHarness{
+		jobs:    make(chan func(*Ctx)),
+		jobDone: make(chan struct{}),
+		runDone: make(chan struct{}),
+	}
+	rt := New(Config{Workers: 1, Seed: 807})
+	rt.SetTracer(rt.NewTracer(1024))
+	rt.SetBatchSizeHistogram(obs.NewHistogram())
+	go func() {
+		defer close(h.runDone)
+		rt.Run(func(c *Ctx) {
+			for f := range h.jobs {
+				f(c)
+				h.jobDone <- struct{}{}
+			}
+		})
+	}()
+	t.Cleanup(func() {
+		close(h.jobs)
+		<-h.runDone
+	})
+	ds := &allocFreeDS{}
+	var got float64
+	h.do(func(c *Ctx) {
+		op := c.Op()
+		*op = OpRecord{DS: ds, Val: 1}
+		c.Batchify(op)
+		got = testing.AllocsPerRun(200, func() {
+			op := c.Op()
+			*op = OpRecord{DS: ds, Val: 1}
+			c.Batchify(op)
+		})
+	})
+	if got != 0 {
+		t.Fatalf("traced Batchify+LaunchBatch allocates %v objects/op, want 0", got)
+	}
+}

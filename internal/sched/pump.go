@@ -27,6 +27,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"batcher/internal/obs"
 )
 
 // Pump submission errors.
@@ -110,14 +112,24 @@ func (p *Pump) Submit(op *OpRecord) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		if tr := p.rt.tracer; tr != nil {
+			tr.Record(tr.ExternalRing(), obs.EvPumpReject, 2, 0)
+		}
 		return ErrPumpClosed
 	}
 	if len(p.q)-p.head >= p.cfg.QueueCap {
 		p.mu.Unlock()
+		if tr := p.rt.tracer; tr != nil {
+			tr.Record(tr.ExternalRing(), obs.EvPumpReject, 1, 0)
+		}
 		return ErrPumpSaturated
 	}
 	p.q = append(p.q, op)
+	depth := len(p.q) - p.head
 	p.mu.Unlock()
+	if tr := p.rt.tracer; tr != nil {
+		tr.Record(tr.ExternalRing(), obs.EvPumpAdmit, int64(depth), 0)
+	}
 	// Publish-then-wake: the enqueue above is ordered before this load
 	// of the parked count (mutex release + sequentially consistent
 	// atomics), so a parking pump either re-checks after the enqueue and
@@ -260,8 +272,6 @@ func (p *Pump) pumpLoop(c *Ctx) {
 			rt.idle.cancelPark()
 			continue
 		}
-		w.m.Parks++
-		rt.idle.sleep(epoch)
-		w.idleFails = idleResume
+		w.parkAndSleep(epoch)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"batcher/internal/deque"
+	"batcher/internal/obs"
 	"batcher/internal/rng"
 )
 
@@ -239,6 +240,20 @@ type Runtime struct {
 	// Pump.Serve) is in progress — Runtime.Metrics is quiescent-only.
 	liveBatches atomic.Int64
 	liveOps     atomic.Int64
+
+	// liveSteals is the successful-steal twin of liveBatches: the
+	// per-worker SuccessfulSteals counters are owner-written plain ints,
+	// unreadable while the runtime runs, so serving-layer metrics get
+	// this atomic instead. Failed attempts (the hot idle case) are not
+	// counted here.
+	liveSteals atomic.Int64
+
+	// tracer and batchHist are the optional observability sinks
+	// (obs.go). Both are written only while the runtime is quiescent and
+	// read unsynchronized by workers; nil means disabled, and every hook
+	// site is a single nil-check branch in that case.
+	tracer    *obs.Tracer
+	batchHist *obs.Histogram
 
 	// contain enables batch-panic containment (ContainBatchPanics): a
 	// panic escaping a group's BOP marks that group's records instead of
@@ -617,6 +632,14 @@ func (w *worker) stealOnce(batchOnly bool) *Task {
 		return nil
 	}
 	w.m.SuccessfulSteals++
+	rt.liveSteals.Add(1)
+	if tr := rt.tracer; tr != nil {
+		var deq int64
+		if d == victim.batch {
+			deq = 1
+		}
+		tr.Record(w.id, obs.EvSteal, int64(victim.id), deq)
+	}
 	return t
 }
 
@@ -683,9 +706,7 @@ func (w *worker) idleFree() {
 		rt.idle.cancelPark()
 		return
 	}
-	w.m.Parks++
-	rt.idle.sleep(epoch)
-	w.idleFails = idleResume
+	w.parkAndSleep(epoch)
 }
 
 // idleAtJoin paces a worker waiting at j inside a task of the given kind
@@ -703,9 +724,7 @@ func (w *worker) idleAtJoin(j *join, kind Kind) {
 		rt.idle.cancelPark()
 		return
 	}
-	w.m.Parks++
-	rt.idle.sleep(epoch)
-	w.idleFails = idleResume
+	w.parkAndSleep(epoch)
 }
 
 // idleTrapped paces a trapped worker in the Batchify loop: it must wake
@@ -722,7 +741,5 @@ func (w *worker) idleTrapped() {
 		rt.idle.cancelPark()
 		return
 	}
-	w.m.Parks++
-	rt.idle.sleep(epoch)
-	w.idleFails = idleResume
+	w.parkAndSleep(epoch)
 }

@@ -12,11 +12,11 @@ import (
 // misread a field).
 func FuzzDecodeRequest(f *testing.F) {
 	valid := AppendRequest(nil, Request{ID: 42, DS: DSSkiplist, Op: OpInsert, Key: -7, Val: 99})
-	f.Add(valid[4:])                              // well-formed
-	f.Add([]byte{})                               // empty body
-	f.Add(valid[4 : len(valid)-3])                // truncated
+	f.Add(valid[4:])                                 // well-formed
+	f.Add([]byte{})                                  // empty body
+	f.Add(valid[4 : len(valid)-3])                   // truncated
 	f.Add(append(append([]byte{}, valid[4:]...), 1)) // trailing garbage
-	f.Add(bytes.Repeat([]byte{0xFF}, reqBody))    // all-ones fields
+	f.Add(bytes.Repeat([]byte{0xFF}, reqBody))       // all-ones fields
 	f.Fuzz(func(t *testing.T, b []byte) {
 		q, err := DecodeRequest(b)
 		if err != nil {

@@ -1,0 +1,97 @@
+package server
+
+// Prometheus-style observability for batcherd. Every server owns an
+// obs.Registry; its counters and gauges are scrape-time reads of the
+// atomics the serving path already maintains, so registration costs the
+// hot path nothing. Two histogram families are recorded live: the batch
+// size distribution (the scheduler observes it once per executed batch
+// via Runtime.SetBatchSizeHistogram — its mean is exactly the
+// LiveBatchStats mean) and per-structure service latency, measured from
+// pump admission to batch completion.
+
+import (
+	"net/http"
+	"time"
+
+	"batcher/internal/obs"
+)
+
+// dsNames maps the wire ds codes 0..3 to metric label values.
+var dsNames = [4]string{"counter", "skiplist", "tree23", "hashmap"}
+
+// buildMetrics assembles the registry. Called from Start before the
+// pump begins serving (the runtime must be quiescent when the batch
+// histogram and tracer are attached).
+func (s *Server) buildMetrics() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+
+	reg.CounterFunc("batcherd_ops_accepted_total",
+		"operations admitted into the pump", nil, s.accepted.Load)
+	reg.CounterFunc("batcherd_ops_rejected_total",
+		"operations refused (bad op, saturation cap, shutdown)", nil, s.rejected.Load)
+	reg.CounterFunc("batcherd_ops_completed_total",
+		"responses handed to connection writers", nil, s.completed.Load)
+	reg.CounterFunc("batcherd_ops_immediate_total",
+		"responses that bypassed the pump (stats, rejections)", nil, s.immediate.Load)
+	reg.CounterFunc("batcherd_ops_failed_total",
+		"accepted operations completed with Err (contained batch panic)", nil, s.failed.Load)
+	reg.CounterFunc("batcherd_decode_errors_total",
+		"connections dropped for malformed frames", nil, s.decodeErr.Load)
+	reg.CounterFunc("batcherd_batch_panics_total",
+		"batch groups whose BOP panicked and was contained", nil, s.rt.BatchPanics)
+	reg.CounterFunc("batcherd_batches_total",
+		"batches executed by the scheduler", nil, func() int64 {
+			b, _ := s.rt.LiveBatchStats()
+			return b
+		})
+	reg.CounterFunc("batcherd_batched_ops_total",
+		"operations carried by executed batches", nil, func() int64 {
+			_, ops := s.rt.LiveBatchStats()
+			return ops
+		})
+	reg.CounterFunc("batcherd_steals_total",
+		"successful scheduler steals", nil, s.rt.LiveSteals)
+
+	reg.GaugeFunc("batcherd_workers",
+		"scheduler worker count (P)", nil, func() float64 {
+			return float64(s.rt.Workers())
+		})
+	reg.GaugeFunc("batcherd_conns",
+		"currently open connections", nil, func() float64 {
+			return float64(s.curConns.Load())
+		})
+	reg.GaugeFunc("batcherd_queue_depth",
+		"pump ingress queue depth", nil, func() float64 {
+			return float64(s.pump.Depth())
+		})
+	reg.GaugeFunc("batcherd_uptime_seconds",
+		"seconds since the server started", nil, func() float64 {
+			return time.Since(s.start).Seconds()
+		})
+
+	s.batchHist = reg.Histogram("batcherd_batch_size",
+		"operations per executed batch", nil)
+	s.rt.SetBatchSizeHistogram(s.batchHist)
+	for i, name := range dsNames {
+		s.latHist[i] = reg.Histogram("batcherd_service_latency_ns",
+			"pump-admission-to-completion latency per operation",
+			[]obs.Label{{Name: "ds", Value: name}})
+	}
+
+	if s.cfg.TraceRing > 0 {
+		s.tracer = s.rt.NewTracer(s.cfg.TraceRing)
+		s.rt.SetTracer(s.tracer)
+	}
+}
+
+// Metrics returns the server's registry (scrape it with
+// MetricsHandler, or pull individual families in tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// MetricsHandler returns the /metrics handler (Prometheus text format).
+func (s *Server) MetricsHandler() http.Handler { return s.reg.Handler() }
+
+// Tracer returns the scheduler event tracer, or nil unless
+// Config.TraceRing enabled tracing.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }

@@ -13,6 +13,7 @@ import (
 	"batcher/internal/ds/hashmap"
 	"batcher/internal/ds/skiplist"
 	"batcher/internal/ds/tree23"
+	"batcher/internal/obs"
 	"batcher/internal/sched"
 )
 
@@ -59,6 +60,11 @@ type Config struct {
 	// fault-injection seam: chaos tests splice internal/faultinject
 	// wrappers into a live server through it.
 	WrapDS func(ds uint8, b sched.Batched) sched.Batched
+	// TraceRing, when positive, attaches a scheduler event tracer with
+	// this many slots per worker ring (see obs.NewTracer; rounded up to
+	// a power of two). Zero disables tracing; the /metrics registry is
+	// always available.
+	TraceRing int
 }
 
 // Server owns a listener, a scheduler runtime, one instance of each
@@ -95,6 +101,15 @@ type Server struct {
 	failed    atomic.Int64 // accepted operations completed with Err (contained batch panic)
 	decodeErr atomic.Int64 // connections dropped for malformed frames
 
+	// Observability (metrics.go): the registry backing /metrics, the
+	// batch-size histogram shared with the scheduler, per-structure
+	// service-latency histograms indexed by wire ds code, and the
+	// optional event tracer.
+	reg       *obs.Registry
+	batchHist *obs.Histogram
+	latHist   [4]*obs.Histogram
+	tracer    *obs.Tracer
+
 	reqPool sync.Pool
 }
 
@@ -107,6 +122,8 @@ type request struct {
 	c       *conn
 	id      uint64
 	flags   uint8 // pre-set for rejections and stats; 0 means "derive from op"
+	dsIdx   int8  // wire ds code of an accepted op; selects its latency histogram
+	start   time.Time
 	payload []byte
 }
 
@@ -183,6 +200,9 @@ func Start(cfg Config) (*Server, error) {
 		QueueCap: cfg.QueueCap,
 		OnDone:   s.complete,
 	})
+	// Metrics/tracing attach to the runtime and must happen before the
+	// pump occupies it.
+	s.buildMetrics()
 	s.srvWG.Add(2)
 	go func() { defer s.srvWG.Done(); s.pump.Serve() }()
 	go func() { defer s.srvWG.Done(); s.accept() }()
@@ -367,6 +387,8 @@ func (s *Server) dispatch(c *conn, q Request) {
 	}
 	rq.op.DS = ds
 	rq.op.Kind = kind
+	rq.dsIdx = int8(q.DS)
+	rq.start = time.Now()
 	// Park on saturation: the pump's bounded queue is the global ingress
 	// limit in front of the pending array, and this reader already holds
 	// a window slot, so blocking here stops the connection from reading,
@@ -464,6 +486,7 @@ func (s *Server) complete(op *sched.OpRecord) {
 		rq.flags = FlagErr
 		s.failed.Add(1)
 	}
+	s.latHist[rq.dsIdx].Observe(int64(time.Since(rq.start)))
 	rq.c.out <- rq
 }
 
