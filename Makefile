@@ -31,7 +31,7 @@ bench-json:
 # trajectory instead of being overwritten.
 SERVER_BENCH_ARGS ?= -benchtime=2000x -count=1
 bench-server:
-	go test -run '^$$' -bench 'ServerLoopback' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
+	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
 		| go run ./cmd/batcherlab benchjson -append -o BENCH_server.json
 
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).

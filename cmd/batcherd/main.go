@@ -9,17 +9,23 @@
 //
 //	batcherd serve [-addr :7411] [-workers N] [-window 32] [-queue N]
 //	               [-idle-timeout D] [-write-stall D] [-saturation-timeout D]
-//	               [-metrics host:9100] [-trace-ring N]
+//	               [-metrics host:9100] [-trace-ring N] [-slow-k K] [-slow-window D]
 //	    Run the server until SIGINT/SIGTERM, then drain gracefully.
-//	    -metrics serves Prometheus text-format metrics at /metrics on a
-//	    separate HTTP listener; with -trace-ring it also serves /trace,
-//	    a live Chrome trace_event JSON snapshot of the scheduler's event
-//	    rings (N slots per worker).
+//	    -metrics serves an HTTP listener with /metrics (Prometheus text
+//	    format, including the per-phase and batch-delay histograms),
+//	    /slow (the tail flight recorder: the K slowest ops per window
+//	    with full phase vectors, as JSON), /debug/pprof/* (Go's
+//	    profilers), /debug/rtrace/{start,stop} (on-demand Go runtime
+//	    execution trace), and — with -trace-ring — /trace, a live Chrome
+//	    trace_event JSON snapshot of the scheduler's event rings (N
+//	    slots per worker), streamed.
 //
 //	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
-//	              [-read 0.5] [-window 16] [-rate 0] [-keyspace 65536]
+//	              [-read 0.5] [-window 16] [-rate 0] [-keyspace 65536] [-phases]
 //	    Drive a workload at a running server and report throughput and
 //	    latency percentiles, then print the server's stats document.
+//	    -phases asks the server to echo each op's phase-stamp vector and
+//	    prints the client-side phase breakdown and batch-delay tail.
 //
 //	batcherd stats [-addr host:7411]
 //	    Fetch and print the server's stats document.
@@ -28,16 +34,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	rtrace "runtime/trace"
+	"sync"
 	"syscall"
 	"time"
 
 	"batcher/internal/loadgen"
-	"batcher/internal/obs"
 	"batcher/internal/server"
 )
 
@@ -73,8 +82,10 @@ func serveCmd(args []string) {
 	idle := fs.Duration("idle-timeout", 0, "reap connections idle this long (0 = 2m default, <0 disables)")
 	stall := fs.Duration("write-stall", 0, "break connections whose reads stall a response write this long (0 = 30s default, <0 disables)")
 	saturation := fs.Duration("saturation-timeout", 0, "reject requests parked this long on a saturated queue (0 = 30s default, <0 disables)")
-	metricsAddr := fs.String("metrics", "", "serve /metrics (Prometheus text format) on this address; empty disables")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /slow, and /debug/pprof on this address; empty disables")
 	traceRing := fs.Int("trace-ring", 0, "scheduler event-ring slots per worker (0 disables tracing; enables /trace with -metrics)")
+	slowK := fs.Int("slow-k", 0, "tail flight recorder: keep the K slowest ops per window (0 = 16 default, <0 disables)")
+	slowWindow := fs.Duration("slow-window", 0, "tail flight recorder rotation window (0 = 10s default)")
 	fs.Parse(args)
 
 	s, err := server.Start(server.Config{
@@ -88,6 +99,8 @@ func serveCmd(args []string) {
 		WriteStallTimeout: *stall,
 		SaturationTimeout: *saturation,
 		TraceRing:         *traceRing,
+		SlowK:             *slowK,
+		SlowWindow:        *slowWindow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batcherd: %v\n", err)
@@ -98,12 +111,19 @@ func serveCmd(args []string) {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", s.MetricsHandler())
-		if tr := s.Tracer(); tr != nil {
-			mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-				w.Header().Set("Content-Type", "application/json")
-				obs.WriteChromeTrace(w, tr.Snapshot())
-			})
-		}
+		mux.Handle("/trace", s.TraceHandler())
+		mux.Handle("/slow", s.SlowHandler())
+		// Go's own profilers ride the same listener: CPU/heap/goroutine
+		// profiles under /debug/pprof/, and an on-demand runtime
+		// execution trace under /debug/rtrace/{start,stop} (the
+		// go tool trace format, as opposed to /trace's scheduler-level
+		// Chrome export).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		registerRuntimeTrace(mux)
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "batcherd: metrics listener: %v\n", err)
@@ -123,6 +143,62 @@ func serveCmd(args []string) {
 		st.BatchedOps, st.Batches, st.MeanBatch, st.Rejected)
 }
 
+// registerRuntimeTrace installs /debug/rtrace/start and /stop: start
+// begins collecting a Go runtime execution trace into a server-side
+// file, stop ends it and streams the file back. Unlike
+// /debug/pprof/trace (which traces for a fixed duration into the
+// response), start/stop brackets let an operator capture exactly the
+// window an incident spans.
+func registerRuntimeTrace(mux *http.ServeMux) {
+	var (
+		mu   sync.Mutex
+		f    *os.File
+		path string
+	)
+	mux.HandleFunc("/debug/rtrace/start", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if f != nil {
+			http.Error(w, "runtime trace already running", http.StatusConflict)
+			return
+		}
+		tf, err := os.CreateTemp("", "batcherd-rtrace-*.out")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := rtrace.Start(tf); err != nil {
+			tf.Close()
+			os.Remove(tf.Name())
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		f, path = tf, tf.Name()
+		fmt.Fprintln(w, "runtime trace started; GET /debug/rtrace/stop to collect")
+	})
+	mux.HandleFunc("/debug/rtrace/stop", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if f == nil {
+			http.Error(w, "no runtime trace running", http.StatusConflict)
+			return
+		}
+		rtrace.Stop()
+		f.Close()
+		tf, err := os.Open(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		} else {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="rtrace.out"`)
+			io.Copy(w, tf)
+			tf.Close()
+		}
+		os.Remove(path)
+		f, path = nil, ""
+	})
+}
+
 func loadCmd(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7411", "server address")
@@ -134,6 +210,7 @@ func loadCmd(args []string) {
 	rate := fs.Float64("rate", 0, "open-loop aggregate ops/s (0 = closed-loop)")
 	keyspace := fs.Int64("keyspace", 1<<16, "key range")
 	seed := fs.Uint64("seed", 1, "workload seed")
+	phases := fs.Bool("phases", false, "request per-op phase attribution and print the phase breakdown")
 	fs.Parse(args)
 
 	ds, ok := map[string]uint8{
@@ -149,13 +226,16 @@ func loadCmd(args []string) {
 	res, err := loadgen.Run(loadgen.Workload{
 		Addr: *addr, Conns: *conns, Ops: *ops, Window: *window,
 		RatePerSec: *rate, DS: ds, ReadFrac: *read,
-		KeySpace: *keyspace, Seed: *seed,
+		KeySpace: *keyspace, Seed: *seed, Phases: *phases,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batcherd: load: %v (partial: %v)\n", err, res)
 		os.Exit(1)
 	}
 	fmt.Println(res)
+	if *phases {
+		fmt.Print(res.PhaseBreakdown())
+	}
 	printStats(*addr)
 }
 

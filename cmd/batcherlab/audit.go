@@ -1,0 +1,184 @@
+package main
+
+// batcherlab audit — an empirical Theorem 5.4 batch-delay audit on the
+// real goroutine runtime. The completion-time analysis charges every
+// operation a *batch delay*: the wait between arriving in the pending
+// array and its batch landing. Two facts bound it (paper §5):
+//
+//   - Lemma 2: once pending, an operation is incorporated into one of
+//     the next two batches — it can miss at most the batch whose
+//     acknowledgement pass already scanned its slot.
+//   - Therefore delay ≤ (one missed batch) + (launch gap) + (own
+//     batch), i.e. at most two batch spans plus the inter-batch setup
+//     gap — the O(T1/P + T∞ + n·σ̂)-shaped bound's per-op term.
+//
+// The audit runs n Batchify round trips per structure with phase
+// stamping enabled (obs.PhasePending/Launch/Land written by the
+// scheduler into per-op records), reconstructs the batch sequence from
+// the land stamps (Invariant 1 serializes batches, so distinct land
+// stamps totally order them), and checks both facts directly:
+// batches-landed-inside-any-op's-wait ≤ 2, and max measured delay ≤
+// 2·(max batch span + max setup gap). The same quantities stream from
+// a live batcherd via /metrics (batcherd_batch_delay_ns) and /slow.
+
+import (
+	"fmt"
+	"sort"
+
+	"batcher/internal/ds/counter"
+	"batcher/internal/ds/hashmap"
+	"batcher/internal/ds/skiplist"
+	"batcher/internal/ds/tree23"
+	"batcher/internal/obs"
+	"batcher/internal/sched"
+)
+
+// auditRow is one structure's audit result.
+type auditRow struct {
+	name string
+	n    int   // ops completed
+	s    int64 // batches executed (scheduler count)
+	mean float64
+
+	delayP50, delayP99, delayMax int64
+	spanMax, gapMax              int64
+	maxWaited                    int // batches landed inside any op's wait
+	bound                        int64
+}
+
+func (r auditRow) verdictLemma2() bool { return r.maxWaited <= 2 }
+func (r auditRow) verdictDelay() bool  { return r.delayMax <= r.bound }
+
+// auditOne runs n operations against one structure and measures its
+// batch-delay distribution from the per-op stamp vectors.
+func auditOne(name string, ds sched.Batched, kind sched.OpKind, n, workers int, seed uint64) auditRow {
+	rt := sched.New(sched.Config{Workers: workers, Seed: seed})
+	rt.SetPhaseStamps(true)
+
+	// One record per operation — the audit needs every op's stamps to
+	// survive the run, so the hot path's reusable Ctx.Op is no use here.
+	recs := make([]sched.OpRecord, n)
+	rt.Run(func(c *sched.Ctx) {
+		c.For(0, n, 1, func(cc *sched.Ctx, i int) {
+			op := &recs[i]
+			op.DS = ds
+			op.Kind = kind
+			op.Key = int64(i) * 2654435761 % (1 << 20)
+			op.Val = 1
+			cc.Batchify(op)
+		})
+	})
+
+	row := auditRow{name: name, n: n}
+	row.s, _ = rt.LiveBatchStats()
+	if row.s > 0 {
+		row.mean = float64(n) / float64(row.s)
+	}
+
+	// Reconstruct the batch sequence: batches are serialized, so the
+	// distinct land stamps order them; each batch's span runs from its
+	// earliest launch stamp to its land, and the setup gap is the hole
+	// between consecutive batches.
+	type batch struct{ launch, land int64 }
+	byLand := map[int64]*batch{}
+	for i := range recs {
+		ph := &recs[i].Phases
+		b := byLand[ph[obs.PhaseLand]]
+		if b == nil {
+			b = &batch{launch: ph[obs.PhaseLaunch], land: ph[obs.PhaseLand]}
+			byLand[ph[obs.PhaseLand]] = b
+		} else if ph[obs.PhaseLaunch] < b.launch {
+			b.launch = ph[obs.PhaseLaunch]
+		}
+	}
+	batches := make([]*batch, 0, len(byLand))
+	for _, b := range byLand {
+		batches = append(batches, b)
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].land < batches[j].land })
+	lands := make([]int64, len(batches))
+	for i, b := range batches {
+		lands[i] = b.land
+		if sp := b.land - b.launch; sp > row.spanMax {
+			row.spanMax = sp
+		}
+		if i > 0 {
+			if g := b.launch - batches[i-1].land; g > row.gapMax {
+				row.gapMax = g
+			}
+		}
+	}
+
+	delays := obs.NewHistogram()
+	for i := range recs {
+		ph := &recs[i].Phases
+		delays.Observe(obs.BatchDelay(*ph))
+		// Lemma 2 check: batches landing inside [pending, land] — the
+		// op's own included — may number at most 2.
+		lo := sort.Search(len(lands), func(k int) bool { return lands[k] >= ph[obs.PhasePending] })
+		hi := sort.Search(len(lands), func(k int) bool { return lands[k] > ph[obs.PhaseLand] })
+		if w := hi - lo; w > row.maxWaited {
+			row.maxWaited = w
+		}
+	}
+	row.delayP50 = delays.Quantile(0.50)
+	row.delayP99 = delays.Quantile(0.99)
+	row.delayMax = delays.Max()
+	row.bound = 2 * (row.spanMax + row.gapMax)
+	return row
+}
+
+// auditCmd runs the audit across every served structure and prints the
+// measured-vs-bound table (the EXPERIMENTS.md batch-delay table).
+func auditCmd() {
+	n := 4000
+	if *quick {
+		n = 1000
+	}
+	w := *workers
+	rows := []auditRow{
+		auditOne("counter", counter.New(0), counter.OpIncrement, n, w, *seed),
+		auditOne("skiplist", skiplist.NewBatched(*seed^0x9e3779b97f4a7c15), skiplist.OpInsert, n, w, *seed),
+		auditOne("tree23", tree23.NewBatched(), tree23.OpInsert, n, w, *seed),
+		auditOne("hashmap", hashmap.NewBatched(*seed^0xd1342543de82ef95), hashmap.OpPut, n, w, *seed),
+	}
+
+	fmt.Printf("%d Batchify round trips per structure, P=%d, phase stamping on\n", n, w)
+	fmt.Printf("delay = land−pending per op; bound = 2·(max batch span + max setup gap), from Lemma 2\n\n")
+	fmt.Printf("%-9s %6s %7s %6s  %12s %12s %12s  %12s %7s %7s\n",
+		"ds", "ops", "batches", "mean", "delay_p50", "delay_p99", "delay_max", "bound", "ratio", "waited")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.bound > 0 {
+			ratio = float64(r.delayMax) / float64(r.bound)
+		}
+		fmt.Printf("%-9s %6d %7d %6.2f  %12s %12s %12s  %12s %7.2f %7d\n",
+			r.name, r.n, r.s, r.mean,
+			fmtNS(r.delayP50), fmtNS(r.delayP99), fmtNS(r.delayMax),
+			fmtNS(r.bound), ratio, r.maxWaited)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		check(r.verdictLemma2(), fmt.Sprintf("%s: Lemma 2 — no op waited through more than 2 batch landings (max %d)", r.name, r.maxWaited))
+		check(r.verdictDelay(), fmt.Sprintf("%s: Theorem 5.4 shape — max delay %s within 2·(span+gap) bound %s", r.name, fmtNS(r.delayMax), fmtNS(r.bound)))
+	}
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func check(ok bool, msg string) {
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%s  %s\n", verdict, msg)
+}

@@ -15,10 +15,14 @@
 //	batcherlab lemma2   # Lemma 2: trapped for at most two batches
 //	batcherlab ablate   # steal-policy / batch-cap / launch ablations
 //	batcherlab real     # wall-clock runs on the goroutine runtime
+//	batcherlab audit    # empirical Theorem 5.4 batch-delay audit (real runtime)
 //	batcherlab all      # everything above
 //	batcherlab benchjson [-i bench.txt] [-o BENCH_sched.json] [-append]
 //	                    # convert `go test -bench -benchmem` output to JSON
 //	                    # (-append: add one JSONL line instead of overwriting)
+//	batcherlab slow [-addr http://127.0.0.1:9100]
+//	                    # fetch a running batcherd's tail flight recorder
+//	                    # (/slow) and print the K slowest recent ops
 //
 // Flags:
 //
@@ -63,6 +67,12 @@ func main() {
 		benchcmpCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "slow" {
+		// Operational: fetch a running batcherd's tail flight recorder
+		// (slow.go). Takes its own -addr flag, excluded from "all".
+		slowCmd(flag.Args()[1:])
+		return
+	}
 	ran := false
 	run := func(name string, f func()) {
 		if cmd == name || cmd == "all" {
@@ -84,6 +94,7 @@ func main() {
 	run("ablate", ablateCmd)
 	run("trace", traceCmd)
 	run("real", realCmd)
+	run("audit", auditCmd)
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; see batcherlab -h\n", cmd)
 		os.Exit(2)

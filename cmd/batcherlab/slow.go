@@ -1,0 +1,65 @@
+package main
+
+// batcherlab slow — fetch a running batcherd's tail flight recorder
+// (the /slow endpoint on its -metrics listener) and print the K slowest
+// recent operations as a table: one row per op, its end-to-end latency
+// decomposed into the lifecycle phases, plus the batch that carried it.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"batcher/internal/obs"
+)
+
+func slowCmd(args []string) {
+	fs := flag.NewFlagSet("slow", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9100", "batcherd metrics listener base URL")
+	fs.Parse(args)
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := http.Get(strings.TrimRight(url, "/") + "/slow")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slow:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "slow: server returned %s\n", resp.Status)
+		os.Exit(1)
+	}
+	var ops []obs.SlowOp
+	if err := json.NewDecoder(resp.Body).Decode(&ops); err != nil {
+		fmt.Fprintln(os.Stderr, "slow: decode:", err)
+		os.Exit(1)
+	}
+	if len(ops) == 0 {
+		fmt.Println("flight recorder empty (no completed ops in the current windows)")
+		return
+	}
+
+	fmt.Printf("%d slowest ops (current + previous window), slowest first\n", len(ops))
+	fmt.Printf("%-9s %5s %10s  %10s %10s %10s %10s %10s  %10s %6s %5s %4s %6s\n",
+		"ds", "kind", "total",
+		obs.PhaseNames[0], obs.PhaseNames[1], obs.PhaseNames[2], obs.PhaseNames[3], obs.PhaseNames[4],
+		"bdelay", "bsize", "bgrp", "err", "age")
+	for _, op := range ops {
+		errMark := ""
+		if op.Err {
+			errMark = "E"
+		}
+		fmt.Printf("%-9s %5d %10s  %10s %10s %10s %10s %10s  %10s %6d %5d %4s %6s\n",
+			op.DS, op.Kind, fmtNS(op.TotalNS),
+			fmtNS(op.Durations[0]), fmtNS(op.Durations[1]), fmtNS(op.Durations[2]),
+			fmtNS(op.Durations[3]), fmtNS(op.Durations[4]),
+			fmtNS(op.BatchDelay), op.BatchSize, op.BatchGroup, errMark,
+			fmt.Sprintf("%.1fs", float64(op.AgeNS)/1e9))
+	}
+}

@@ -36,6 +36,11 @@ type Workload struct {
 	KeySpace int64
 	// Seed seeds the per-connection RNGs.
 	Seed uint64
+	// Phases requests server-side phase attribution: every request
+	// carries server.OpFlagPhases, and each response's echoed stamp
+	// vector feeds the Result's batch-delay and per-phase histograms —
+	// client-visible latency decomposed into the scheduler's phases.
+	Phases bool
 }
 
 // Result aggregates a run's outcome.
@@ -59,13 +64,47 @@ type Result struct {
 	// Latency is the merged histogram itself, for callers that want more
 	// than the canned percentiles (nil until at least one run merged).
 	Latency *obs.Histogram
+	// BatchDelay and Phase aggregate the server-echoed stamp vectors
+	// when Workload.Phases was set (nil otherwise): BatchDelay is the
+	// paper's per-op batch-delay term (pending-array arrival to batch
+	// landing) and Phase[i] the i-th lifecycle phase duration, in
+	// obs.PhaseNames order.
+	BatchDelay *obs.Histogram
+	Phase      [obs.NumPhases - 1]*obs.Histogram
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"sent=%d resp=%d err=%d elapsed=%.3fs throughput=%.0f ops/s p50=%s p95=%s p99=%s p999=%s max=%s",
 		r.Sent, r.Responses, r.Errors, r.Elapsed.Seconds(), r.OpsPerSec,
 		r.P50, r.P95, r.P99, r.P999, r.Max)
+	if r.BatchDelay != nil && r.BatchDelay.Count() > 0 {
+		s += fmt.Sprintf(" batch_delay_p50=%s batch_delay_p99=%s batch_delay_max=%s",
+			time.Duration(r.BatchDelay.Quantile(0.50)),
+			time.Duration(r.BatchDelay.Quantile(0.99)),
+			time.Duration(r.BatchDelay.Max()))
+	}
+	return s
+}
+
+// PhaseBreakdown renders the mean and p99 of every phase duration, one
+// line per phase, or "" when the run did not request phases.
+func (r Result) PhaseBreakdown() string {
+	if r.BatchDelay == nil {
+		return ""
+	}
+	var s string
+	for i, h := range r.Phase {
+		if h == nil {
+			continue
+		}
+		s += fmt.Sprintf("phase %-9s mean=%-12s p99=%-12s max=%s\n",
+			obs.PhaseNames[i],
+			time.Duration(int64(h.Mean())),
+			time.Duration(h.Quantile(0.99)),
+			time.Duration(h.Max()))
+	}
+	return s
 }
 
 // Run executes the workload and reports aggregate results. Each
@@ -91,12 +130,24 @@ func Run(w Workload) (Result, error) {
 		hist  = obs.NewHistogram()
 		first error
 	)
-	report := func(sent, responses, errors int64, h *obs.Histogram, err error) {
+	if w.Phases {
+		res.BatchDelay = obs.NewHistogram()
+		for i := range res.Phase {
+			res.Phase[i] = obs.NewHistogram()
+		}
+	}
+	report := func(cs *connStats, err error) {
 		mu.Lock()
-		res.Sent += sent
-		res.Responses += responses
-		res.Errors += errors
-		hist.Merge(h)
+		res.Sent += cs.sent
+		res.Responses += cs.responses
+		res.Errors += cs.errors
+		hist.Merge(cs.lats)
+		if w.Phases {
+			res.BatchDelay.Merge(cs.delay)
+			for i := range res.Phase {
+				res.Phase[i].Merge(cs.phase[i])
+			}
+		}
 		if err != nil && first == nil {
 			first = err
 		}
@@ -130,15 +181,28 @@ func Run(w Workload) (Result, error) {
 	return res, nil
 }
 
+// connStats is one connection's contribution to the aggregate Result.
+type connStats struct {
+	sent, responses, errors int64
+	lats                    *obs.Histogram
+	delay                   *obs.Histogram
+	phase                   [obs.NumPhases - 1]*obs.Histogram
+}
+
 // runConn drives one connection. In closed-loop mode a single goroutine
 // interleaves sends and receives, keeping up to Window requests in
 // flight. In open-loop mode a sender paces requests on schedule while a
 // separate receiver drains responses. Responses arrive in completion
 // order, so send timestamps are matched to responses by request id.
-func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogram, error)) {
-	var sent, responses, errors int64
-	lats := obs.NewHistogram()
-	fail := func(err error) { report(sent, responses, errors, lats, err) }
+func runConn(w Workload, idx int, report func(*connStats, error)) {
+	cs := &connStats{lats: obs.NewHistogram()}
+	if w.Phases {
+		cs.delay = obs.NewHistogram()
+		for i := range cs.phase {
+			cs.phase[i] = obs.NewHistogram()
+		}
+	}
+	fail := func(err error) { report(cs, err) }
 
 	c, err := Dial(w.Addr)
 	if err != nil {
@@ -160,6 +224,9 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogra
 			q.Op = server.OpInsert
 			q.Val = 1
 		}
+		if w.Phases {
+			q.Op |= server.OpFlagPhases
+		}
 		return q
 	}
 
@@ -176,11 +243,18 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogra
 		delete(sendTimes, resp.ID)
 		stMu.Unlock()
 		if ok {
-			lats.Observe(int64(time.Since(t0)))
+			cs.lats.Observe(int64(time.Since(t0)))
 		}
-		responses++
+		if resp.Flags&server.FlagPhases != 0 && cs.delay != nil {
+			cs.delay.Observe(obs.BatchDelay(resp.Phases))
+			durs := obs.PhaseDurations(resp.Phases)
+			for i, h := range cs.phase {
+				h.Observe(durs[i])
+			}
+		}
+		cs.responses++
 		if resp.Err() {
-			errors++
+			cs.errors++
 		}
 		return nil
 	}
@@ -215,13 +289,13 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogra
 				fail(err)
 				return
 			}
-			sent++
+			cs.sent++
 		}
 		if err := <-recvDone; err != nil {
 			fail(err)
 			return
 		}
-		report(sent, responses, errors, lats, nil)
+		report(cs, nil)
 		return
 	}
 
@@ -241,7 +315,7 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogra
 			return
 		}
 		sendTimes[id] = time.Now()
-		sent++
+		cs.sent++
 		inFlight++
 		if inFlight == w.Window || i == w.Ops-1 {
 			if err := c.Flush(); err != nil {
@@ -256,5 +330,5 @@ func runConn(w Workload, idx int, report func(int64, int64, int64, *obs.Histogra
 			return
 		}
 	}
-	report(sent, responses, errors, lats, nil)
+	report(cs, nil)
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 )
@@ -12,8 +13,10 @@ import (
 // as instant ("i") events. Timestamps are microseconds, as the format
 // requires.
 //
-// The export path allocates freely — it runs after (or beside) the
-// traced workload, never inside it.
+// Events stream to w one at a time through a buffered writer — the
+// export never materializes the whole document, so a large ring
+// snapshot costs O(1) memory beyond the snapshot itself and the first
+// bytes reach the client (a live /trace scrape) immediately.
 
 type chromeEvent struct {
 	Name string         `json:"name"`
@@ -26,21 +29,45 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+// chromeWriter streams one trace document: header, comma-separated
+// events, footer. The first write error sticks and suppresses the rest.
+type chromeWriter struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	wrote bool
+	err   error
+}
+
+func (cw *chromeWriter) event(ce *chromeEvent) {
+	if cw.err != nil {
+		return
+	}
+	if cw.wrote {
+		if _, cw.err = cw.bw.WriteString(","); cw.err != nil {
+			return
+		}
+	}
+	cw.wrote = true
+	// Encoder appends a newline after each value, giving one event per
+	// line — valid JSON and friendlier to diffing than a single line.
+	cw.err = cw.enc.Encode(ce)
 }
 
 // WriteChromeTrace renders events (as returned by Tracer.Snapshot) to w
-// in Chrome trace_event JSON object format.
+// in Chrome trace_event JSON object format, streaming event by event.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	cw := &chromeWriter{bw: bufio.NewWriter(w)}
+	cw.enc = json.NewEncoder(cw.bw)
+	if _, err := cw.bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
-	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events))}
 	// Parks emit B/E pairs; a wake whose park was overwritten by ring
 	// wraparound must not emit an unmatched E (it would corrupt the
 	// track's span stack), so track open parks per ring.
 	openPark := make(map[int32]bool)
-	for _, e := range events {
+	for i := range events {
+		e := &events[i]
 		ce := chromeEvent{Name: e.Kind.String(), TS: us(e.TS), TID: e.Ring}
 		switch e.Kind {
 		case EvBatchLand:
@@ -89,7 +116,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			ce.Ph = "i"
 			ce.S = "t"
 		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		cw.event(&ce)
 	}
 	// Close any park left open at snapshot time so spans balance.
 	var last float64
@@ -98,10 +125,14 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	}
 	for tid, open := range openPark {
 		if open {
-			out.TraceEvents = append(out.TraceEvents,
-				chromeEvent{Name: "parked", Ph: "E", TS: last, TID: tid})
+			cw.event(&chromeEvent{Name: "parked", Ph: "E", TS: last, TID: tid})
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	if cw.err != nil {
+		return cw.err
+	}
+	if _, err := cw.bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
 }

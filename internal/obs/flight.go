@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tail flight recorder: a tiny reservoir holding the K slowest
+// operations of the current observation window (plus the previous
+// window, so a dump just after rotation is never empty), each with its
+// full phase-stamp vector and the batch it landed in. Histograms answer
+// "how bad is the tail"; the recorder answers "what, exactly, were the
+// tail ops doing" — which phase ate the time, how big their batch was,
+// which structure ran it.
+//
+// Admission cost is designed for the completion path: Offer takes the
+// op by value (no allocation) and fast-rejects through two atomic loads
+// when the op is no slower than the current window's K-th slowest — on
+// a healthy server, almost every op. Only candidate tail ops take the
+// mutex. This is by construction a *biased* sample: it keeps extremes,
+// not a uniform draw, so it complements (never replaces) the unbiased
+// phase histograms. See DESIGN.md §11 for the sampling-bias caveats.
+
+// SlowOp is one recorded tail operation. Stamps are obs.Now
+// nanoseconds; AgeNS is filled at snapshot time (nanoseconds between
+// the op's completion and the snapshot).
+type SlowOp struct {
+	TotalNS    int64                `json:"total_ns"`
+	AgeNS      int64                `json:"age_ns"`
+	Stamps     [NumPhases]int64     `json:"stamps"`
+	Durations  [NumPhases - 1]int64 `json:"durations_ns"`
+	BatchDelay int64                `json:"batch_delay_ns"`
+	DS         string               `json:"ds"`
+	Kind       int32                `json:"kind"`
+	Key        int64                `json:"key"`
+	BatchSize  int32                `json:"batch_size"`
+	BatchGroup int32                `json:"batch_group"`
+	Err        bool                 `json:"err"`
+}
+
+// FlightRecorder keeps the K slowest SlowOps per rotation window.
+// Methods are safe for concurrent use; a nil recorder ignores every
+// call, so callers need no nil checks beyond the method dispatch.
+type FlightRecorder struct {
+	k      int
+	window int64 // rotation period, ns
+
+	// floor is the fast-reject threshold: the smallest TotalNS in a full
+	// current reservoir, or -1 while it has room (every op passes).
+	// curStart anchors the window-expiry check. Both are read without
+	// the mutex on the reject path; staleness only costs a harmless
+	// mutex acquisition or a marginally late rotation.
+	floor    atomic.Int64
+	curStart atomic.Int64
+
+	mu        sync.Mutex
+	cur, prev []SlowOp
+}
+
+// NewFlightRecorder creates a recorder keeping the k slowest ops per
+// window. k defaults to 16 and window to 10s when nonpositive.
+func NewFlightRecorder(k int, window time.Duration) *FlightRecorder {
+	if k <= 0 {
+		k = 16
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	f := &FlightRecorder{
+		k:      k,
+		window: int64(window),
+		cur:    make([]SlowOp, 0, k),
+		prev:   make([]SlowOp, 0, k),
+	}
+	f.floor.Store(-1)
+	f.curStart.Store(Now())
+	return f
+}
+
+// K returns the reservoir capacity per window.
+func (f *FlightRecorder) K() int {
+	if f == nil {
+		return 0
+	}
+	return f.k
+}
+
+// Offer presents one completed op. It keeps it only if it ranks among
+// the K slowest of the current window. Allocation-free; the common
+// (fast) case is two atomic loads and a compare.
+func (f *FlightRecorder) Offer(op SlowOp) {
+	if f == nil {
+		return
+	}
+	now := Now()
+	if op.TotalNS <= f.floor.Load() && now-f.curStart.Load() < f.window {
+		return
+	}
+	f.mu.Lock()
+	f.rotateLocked(now)
+	if len(f.cur) < f.k {
+		f.cur = append(f.cur, op)
+		if len(f.cur) == f.k {
+			f.refloorLocked()
+		}
+	} else {
+		mi := 0
+		for i := 1; i < len(f.cur); i++ {
+			if f.cur[i].TotalNS < f.cur[mi].TotalNS {
+				mi = i
+			}
+		}
+		if op.TotalNS > f.cur[mi].TotalNS {
+			f.cur[mi] = op
+			f.refloorLocked()
+		}
+	}
+	f.mu.Unlock()
+}
+
+// rotateLocked retires the current window into prev once it expires.
+// The slices swap so both backing arrays are reused forever.
+func (f *FlightRecorder) rotateLocked(now int64) {
+	start := f.curStart.Load()
+	if now-start < f.window {
+		return
+	}
+	f.cur, f.prev = f.prev[:0], f.cur
+	f.curStart.Store(now)
+	f.floor.Store(-1)
+}
+
+// refloorLocked recomputes the fast-reject threshold from a full
+// current reservoir.
+func (f *FlightRecorder) refloorLocked() {
+	min := f.cur[0].TotalNS
+	for _, op := range f.cur[1:] {
+		if op.TotalNS < min {
+			min = op.TotalNS
+		}
+	}
+	f.floor.Store(min)
+}
+
+// Snapshot returns the recorded ops of the current and previous
+// windows, slowest first (at most 2K entries), with AgeNS filled in.
+// The returned slice is the caller's to keep.
+func (f *FlightRecorder) Snapshot() []SlowOp {
+	if f == nil {
+		return nil
+	}
+	now := Now()
+	f.mu.Lock()
+	f.rotateLocked(now)
+	out := make([]SlowOp, 0, len(f.cur)+len(f.prev))
+	out = append(out, f.cur...)
+	out = append(out, f.prev...)
+	f.mu.Unlock()
+	for i := range out {
+		out[i].AgeNS = now - out[i].Stamps[PhaseDone]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNS > out[j].TotalNS })
+	return out
+}

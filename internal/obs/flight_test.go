@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func slowOp(total int64) SlowOp {
+	var st [NumPhases]int64
+	st[PhaseRead] = Now()
+	st[PhaseDone] = st[PhaseRead] + total
+	return SlowOp{TotalNS: total, Stamps: st}
+}
+
+func TestFlightRecorderKeepsKSlowest(t *testing.T) {
+	f := NewFlightRecorder(4, time.Hour) // no rotation during the test
+	for total := int64(1); total <= 100; total++ {
+		f.Offer(slowOp(total))
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d ops, want 4", len(snap))
+	}
+	want := []int64{100, 99, 98, 97}
+	for i, op := range snap {
+		if op.TotalNS != want[i] {
+			t.Fatalf("snapshot[%d].TotalNS = %d, want %d (slowest first)", i, op.TotalNS, want[i])
+		}
+	}
+
+	// A fast op must not displace anything once the reservoir is full.
+	f.Offer(slowOp(1))
+	if snap := f.Snapshot(); len(snap) != 4 || snap[3].TotalNS != 97 {
+		t.Fatalf("fast op displaced a slow one: %v", snap)
+	}
+}
+
+func TestFlightRecorderRotation(t *testing.T) {
+	const window = 20 * time.Millisecond
+	f := NewFlightRecorder(2, window)
+	f.Offer(slowOp(500))
+	f.Offer(slowOp(600))
+
+	// After one window the old ops move to prev but remain visible.
+	time.Sleep(window + 5*time.Millisecond)
+	f.Offer(slowOp(50))
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("after one rotation: %d ops, want 3 (cur + prev)", len(snap))
+	}
+	if snap[0].TotalNS != 600 || snap[2].TotalNS != 50 {
+		t.Fatalf("unexpected order: %v", snap)
+	}
+
+	// After a second window the first window's ops are gone — the floor
+	// reset on rotation, so the now-fast 50ns op was admitted.
+	time.Sleep(window + 5*time.Millisecond)
+	f.Offer(slowOp(60))
+	snap = f.Snapshot()
+	for _, op := range snap {
+		if op.TotalNS >= 500 {
+			t.Fatalf("op from two windows ago still visible: %v", snap)
+		}
+	}
+	if len(snap) != 2 {
+		t.Fatalf("after two rotations: %d ops, want 2", len(snap))
+	}
+}
+
+func TestFlightRecorderSnapshotFillsAge(t *testing.T) {
+	f := NewFlightRecorder(2, time.Hour)
+	f.Offer(slowOp(123))
+	time.Sleep(2 * time.Millisecond)
+	snap := f.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d ops, want 1", len(snap))
+	}
+	// AgeNS = snapshot time − PhaseDone stamp; the synthetic op's Done is
+	// Read+123ns, so age must be at least the sleep minus slack.
+	if snap[0].AgeNS < int64(time.Millisecond) {
+		t.Fatalf("AgeNS = %d, want >= 1ms", snap[0].AgeNS)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Offer(slowOp(1)) // must not panic
+	if f.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot not nil")
+	}
+	if f.K() != 0 {
+		t.Fatal("nil recorder K not 0")
+	}
+}
+
+func TestFlightRecorderConcurrentOffer(t *testing.T) {
+	f := NewFlightRecorder(8, 5*time.Millisecond) // rotate under load
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				f.Offer(slowOp(int64(g*2000 + i)))
+				if i%100 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if snap := f.Snapshot(); len(snap) > 16 {
+		t.Fatalf("snapshot has %d ops, want <= 2K = 16", len(snap))
+	}
+}

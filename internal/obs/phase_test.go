@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+func TestNowMonotonic(t *testing.T) {
+	prev := Now()
+	for i := 0; i < 1000; i++ {
+		n := Now()
+		if n < prev {
+			t.Fatalf("Now went backwards: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestPhaseDurations(t *testing.T) {
+	stamps := [NumPhases]int64{100, 150, 170, 200, 260, 300}
+	want := [NumPhases - 1]int64{50, 20, 30, 60, 40}
+	if got := PhaseDurations(stamps); got != want {
+		t.Fatalf("durations = %v, want %v", got, want)
+	}
+
+	// Sum of durations telescopes to end-to-end when all stamps are in
+	// order — the invariant the server-side phase-sum test relies on.
+	var sum int64
+	for _, d := range PhaseDurations(stamps) {
+		sum += d
+	}
+	if sum != stamps[PhaseDone]-stamps[PhaseRead] {
+		t.Fatalf("durations sum %d != Done-Read %d", sum, stamps[PhaseDone]-stamps[PhaseRead])
+	}
+}
+
+func TestPhaseDurationsClampsStaleSlots(t *testing.T) {
+	// A reused record can carry stale (larger) stamps in slots the
+	// current op never wrote; the negative gaps must clamp to zero, not
+	// poison the histograms.
+	stamps := [NumPhases]int64{0, 900, 100, 200, 250, 260}
+	got := PhaseDurations(stamps)
+	want := [NumPhases - 1]int64{900, 0, 100, 50, 10}
+	if got != want {
+		t.Fatalf("durations = %v, want %v", got, want)
+	}
+	for i, d := range got {
+		if d < 0 {
+			t.Fatalf("duration %d negative: %d", i, d)
+		}
+	}
+}
+
+func TestBatchDelay(t *testing.T) {
+	var stamps [NumPhases]int64
+	stamps[PhasePending] = 1000
+	stamps[PhaseLand] = 4500
+	if got := BatchDelay(stamps); got != 3500 {
+		t.Fatalf("delay = %d, want 3500", got)
+	}
+	stamps[PhaseLand] = 500 // stale slot from a reused record
+	if got := BatchDelay(stamps); got != 0 {
+		t.Fatalf("out-of-order delay = %d, want 0", got)
+	}
+	if got := BatchDelay([NumPhases]int64{}); got != 0 {
+		t.Fatalf("zero-vector delay = %d, want 0", got)
+	}
+}

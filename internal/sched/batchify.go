@@ -48,6 +48,22 @@ type OpRecord struct {
 	// Aux carries non-integer payloads when a structure needs them.
 	Aux any
 
+	// Phases is the op-lifecycle stamp vector (obs.PhaseRead ..
+	// obs.PhaseDone), written only when Runtime.SetPhaseStamps enabled
+	// stamping. Ownership is by slot: the submitter writes PhaseRead
+	// before Submit/Batchify, Pump.Submit writes PhaseAdmit (under the
+	// queue mutex), the scheduler writes PhasePending/PhaseLaunch/
+	// PhaseLand while the op is in flight, and the completion owner
+	// writes PhaseDone. A fixed array keeps the stamping
+	// allocation-free; slots a path never crosses simply stay stale and
+	// are clamped out by obs.PhaseDurations.
+	Phases [obs.NumPhases]int64
+	// BatchSize and BatchGroup identify the batch that landed this op:
+	// the working-set size and the op's group index within it. Written
+	// with PhaseLand, under the same enablement.
+	BatchSize  int32
+	BatchGroup int32
+
 	// worker is the id of the trapped worker, recorded by Batchify so
 	// that LaunchBatch can flip exactly the participants' statuses.
 	worker int32
@@ -103,6 +119,9 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 	rt := w.rt
 	op.worker = int32(w.id)
 	op.Err = nil // the scheduler owns Err until the operation completes
+	if rt.stampPhases {
+		op.Phases[obs.PhasePending] = obs.Now()
+	}
 
 	// Publish the record, then the status. Both stores are sequentially
 	// consistent atomics, so a launcher that observes status==pending also
@@ -264,6 +283,12 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	if len(working) > nw {
 		panic("sched: Invariant 2 violated: batch larger than P")
 	}
+	if rt.stampPhases {
+		now := obs.Now()
+		for _, op := range working {
+			op.Phases[obs.PhaseLaunch] = now
+		}
+	}
 
 	// Step 3: execute the BOP on the working set. Records may target
 	// different structures; group by structure (into scratch, no
@@ -282,6 +307,23 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	// below is sequentially consistent and program-ordered after this).
 	if s.anyPanic.Load() {
 		s.markPanickedGroups()
+	}
+
+	// Phase stamps: land the batch on every participant now, before
+	// step 4 flips statuses — a participant that observes done must also
+	// observe its stamps (the same ordering rule as Err above). One
+	// clock read serves the whole batch; the group scan also records
+	// which batch each op rode in.
+	if rt.stampPhases {
+		now := obs.Now()
+		size := int32(len(working))
+		for gi := range s.groups {
+			for _, op := range s.groups[gi].ops {
+				op.Phases[obs.PhaseLand] = now
+				op.BatchSize = size
+				op.BatchGroup = int32(gi)
+			}
+		}
 	}
 
 	// Record metrics before waking participants.

@@ -52,6 +52,23 @@ func (rt *Runtime) SetBatchSizeHistogram(h *obs.Histogram) {
 	rt.batchHist = h
 }
 
+// SetPhaseStamps enables (or disables) op-lifecycle phase stamping:
+// while on, Batchify stamps obs.PhasePending and LaunchBatch stamps
+// obs.PhaseLaunch and obs.PhaseLand — plus the landing batch's size and
+// group index — into every OpRecord it handles, using the monotonic
+// obs.Now clock. Submitting layers own the remaining slots (PhaseRead,
+// PhaseAdmit, PhaseDone). Call only while no Run or Serve is in
+// progress; workers read the flag unsynchronized.
+func (rt *Runtime) SetPhaseStamps(on bool) {
+	if rt.running.Load() {
+		panic("sched: SetPhaseStamps called during Run")
+	}
+	rt.stampPhases = on
+}
+
+// PhaseStamps reports whether phase stamping is enabled.
+func (rt *Runtime) PhaseStamps() bool { return rt.stampPhases }
+
 // LiveSteals returns the number of successful steals over the runtime's
 // lifetime. Like LiveBatchStats it is an atomic maintained on the steal
 // path (one uncontended add per successful steal — failed attempts, the

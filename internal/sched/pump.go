@@ -124,6 +124,14 @@ func (p *Pump) Submit(op *OpRecord) error {
 		}
 		return ErrPumpSaturated
 	}
+	if p.rt.stampPhases {
+		// PhaseAdmit: the op enters the ingress queue. Stamped inside the
+		// critical section so the pump task that claims the record (under
+		// this same mutex) — and everything downstream of it, including
+		// the OnDone callback — observes the stamp without further
+		// synchronization.
+		op.Phases[obs.PhaseAdmit] = obs.Now()
+	}
 	p.q = append(p.q, op)
 	depth := len(p.q) - p.head
 	p.mu.Unlock()

@@ -255,6 +255,15 @@ type Runtime struct {
 	tracer    *obs.Tracer
 	batchHist *obs.Histogram
 
+	// stampPhases enables op-lifecycle phase stamping (obs.Phase*):
+	// Batchify writes PhasePending and LaunchBatch writes
+	// PhaseLaunch/PhaseLand (plus BatchSize/BatchGroup) into each
+	// OpRecord. Like tracer/batchHist it is written only while
+	// quiescent (SetPhaseStamps) and read unsynchronized by workers; off
+	// costs one predicted branch per site and stamping itself allocates
+	// nothing (a clock read plus array stores).
+	stampPhases bool
+
 	// contain enables batch-panic containment (ContainBatchPanics): a
 	// panic escaping a group's BOP marks that group's records instead of
 	// aborting the runtime. batchPanics counts contained panics; it is an

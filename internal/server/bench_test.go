@@ -50,3 +50,49 @@ func BenchmarkServerLoopback(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServerBatchDelay measures the phase-attribution round trip:
+// requests carry OpFlagPhases, responses echo the stamp vector, and the
+// reported metrics decompose client-visible latency into the paper's
+// batch-delay term (pending-array arrival to batch landing) and its
+// tail. It also keeps the phased serving path itself on the nightly
+// perf gate — the trailer encode/decode and the per-op histogram
+// observations are all inside the timed region.
+func BenchmarkServerBatchDelay(b *testing.B) {
+	const conns = 16
+	s, err := server.Start(server.Config{Workers: 4, Seed: 42})
+	if err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	defer s.Shutdown()
+
+	ops := b.N / conns
+	if ops == 0 {
+		ops = 1
+	}
+	b.ResetTimer()
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr:     s.Addr().String(),
+		Conns:    conns,
+		Ops:      ops,
+		Window:   8,
+		DS:       server.DSSkiplist,
+		ReadFrac: 0.5,
+		KeySpace: 1 << 14,
+		Seed:     42,
+		Phases:   true,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatalf("loadgen: %v", err)
+	}
+	if res.Errors != 0 {
+		b.Fatalf("%d ops rejected", res.Errors)
+	}
+	if res.BatchDelay == nil || res.BatchDelay.Count() == 0 {
+		b.Fatal("no batch-delay observations echoed")
+	}
+	b.ReportMetric(res.OpsPerSec, "ops/s")
+	b.ReportMetric(float64(res.BatchDelay.Quantile(0.99)), "delay-p99-ns")
+	b.ReportMetric(res.BatchDelay.Mean(), "delay-mean-ns")
+}

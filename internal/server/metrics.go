@@ -10,6 +10,7 @@ package server
 // pump admission to batch completion.
 
 import (
+	"encoding/json"
 	"net/http"
 	"time"
 
@@ -79,6 +80,25 @@ func (s *Server) buildMetrics() {
 			[]obs.Label{{Name: "ds", Value: name}})
 	}
 
+	// Per-op phase attribution: one histogram per lifecycle phase
+	// duration, plus the derived batch delay — PhaseLand−PhasePending,
+	// the per-op wait Theorem 5.4 charges (at most two batches' worth by
+	// Lemma 2). Stamping is always on for a server: its cost is one
+	// clock read and an array store per boundary, and the decomposition
+	// is the point of running batcherd observably.
+	s.rt.SetPhaseStamps(true)
+	for i, name := range obs.PhaseNames {
+		s.phaseHist[i] = reg.Histogram("batcherd_op_phase_ns",
+			"per-operation lifecycle phase duration",
+			[]obs.Label{{Name: "phase", Value: name}})
+	}
+	s.delayHist = reg.Histogram("batcherd_batch_delay_ns",
+		"per-operation batch delay: pending-array arrival to batch landing (Theorem 5.4's per-op wait)",
+		nil)
+	if s.cfg.SlowK >= 0 {
+		s.flight = obs.NewFlightRecorder(s.cfg.SlowK, s.cfg.SlowWindow)
+	}
+
 	if s.cfg.TraceRing > 0 {
 		s.tracer = s.rt.NewTracer(s.cfg.TraceRing)
 		s.rt.SetTracer(s.tracer)
@@ -95,3 +115,41 @@ func (s *Server) MetricsHandler() http.Handler { return s.reg.Handler() }
 // Tracer returns the scheduler event tracer, or nil unless
 // Config.TraceRing enabled tracing.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SlowOps returns the tail flight recorder's current contents (the K
+// slowest ops of the current and previous windows, slowest first), or
+// nil when the recorder is disabled.
+func (s *Server) SlowOps() []obs.SlowOp { return s.flight.Snapshot() }
+
+// SlowHandler returns the /slow handler: a JSON array of the flight
+// recorder's SlowOps. 404 when the recorder is disabled (SlowK < 0).
+func (s *Server) SlowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if s.flight == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		ops := s.flight.Snapshot()
+		if ops == nil {
+			ops = []obs.SlowOp{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ops)
+	})
+}
+
+// TraceHandler returns the /trace handler: a live Chrome trace_event
+// JSON snapshot of the scheduler's event rings, streamed rather than
+// buffered. 404 when tracing is disabled (Config.TraceRing == 0).
+func (s *Server) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if s.tracer == nil {
+			http.Error(w, "tracing disabled (start with TraceRing > 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, s.tracer.Snapshot())
+	})
+}

@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/obs"
+	"batcher/internal/server"
+)
+
+// TestPhaseTrailerRoundTrip pins the wire extension: a FlagPhases
+// response carries its stamp vector as a trailer after the payload, and
+// decoding recovers both exactly. Responses without the flag keep the
+// pre-phase frame layout byte for byte.
+func TestPhaseTrailerRoundTrip(t *testing.T) {
+	want := server.Response{
+		ID:      42,
+		Flags:   server.FlagOK | server.FlagPayload | server.FlagPhases,
+		Key:     -7,
+		Res:     99,
+		Payload: []byte("stats-doc"),
+	}
+	for i := range want.Phases {
+		want.Phases[i] = int64(1000 + 100*i)
+	}
+	frame := server.AppendResponse(nil, want)
+
+	body, err := server.ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Flags != want.Flags || got.Key != want.Key || got.Res != want.Res {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if got.Phases != want.Phases {
+		t.Fatalf("phases = %v, want %v", got.Phases, want.Phases)
+	}
+	if string(got.Payload) != string(want.Payload) {
+		t.Fatalf("payload = %q, want %q", got.Payload, want.Payload)
+	}
+
+	// Same response without FlagPhases: no trailer, legacy frame size.
+	plain := want
+	plain.Flags &^= server.FlagPhases
+	plainFrame := server.AppendResponse(nil, plain)
+	if len(plainFrame) != len(frame)-8*obs.NumPhases {
+		t.Fatalf("legacy frame %d bytes, phased %d; trailer should be exactly %d",
+			len(plainFrame), len(frame), 8*obs.NumPhases)
+	}
+}
+
+// TestPhaseTrailerShortBuffer: a FlagPhases response whose body cannot
+// hold the trailer must error, not slice out of bounds — the decoder
+// faces attacker-controlled bytes (see FuzzDecodeResponse).
+func TestPhaseTrailerShortBuffer(t *testing.T) {
+	r := server.Response{ID: 1, Flags: server.FlagPhases}
+	frame := server.AppendResponse(nil, r)
+	body, err := server.ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.DecodeResponse(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated phase trailer decoded without error")
+	}
+}
+
+// TestPhaseMetrics drives counter traffic and checks the attribution
+// books: the batch-delay histogram count must equal the scheduler's own
+// op count (every pump-served op is observed exactly once), every phase
+// histogram must agree, and the per-phase sums must telescope to the
+// measured end-to-end latency within slack.
+func TestPhaseMetrics(t *testing.T) {
+	s := startServer(t, server.Config{Workers: 4, Seed: 37})
+	const conns, per = 8, 100
+	hammer(t, s.Addr().String(), conns, per)
+
+	srv := httptest.NewServer(s.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := promSamples(t, string(body))
+
+	_, ops := s.Runtime().LiveBatchStats()
+	if ops < conns*per {
+		t.Fatalf("LiveBatchStats ops = %d, want >= %d", ops, conns*per)
+	}
+	if got := samples["batcherd_batch_delay_ns_count"]; got != float64(ops) {
+		t.Fatalf("batch_delay count = %v, LiveBatchStats ops = %d", got, ops)
+	}
+	var phaseSum float64
+	for _, name := range obs.PhaseNames {
+		count := samples[`batcherd_op_phase_ns_count{phase="`+name+`"}`]
+		if count != float64(ops) {
+			t.Fatalf("phase %q count = %v, want %d", name, count, ops)
+		}
+		phaseSum += samples[`batcherd_op_phase_ns_sum{phase="`+name+`"}`]
+	}
+
+	// Telescope invariant: the five phase durations of an op sum to its
+	// Done−Read interval, which brackets the service-latency measurement
+	// (PhaseRead is stamped just before the latency clock starts, and
+	// PhaseDone just after it stops). Allow 10% plus 1ms per op for
+	// scheduling noise between the two clock reads.
+	latSum := samples[`batcherd_service_latency_ns_sum{ds="counter"}`]
+	if latSum <= 0 {
+		t.Fatal("no service latency recorded")
+	}
+	slack := 0.10*latSum + 1e6*float64(ops)
+	if math.Abs(phaseSum-latSum) > slack {
+		t.Fatalf("phase sums %.0f vs latency sum %.0f: off by more than %.0f",
+			phaseSum, latSum, slack)
+	}
+
+	// The exec phase is the BOP itself: it must have recorded real time.
+	if samples[`batcherd_op_phase_ns_sum{phase="exec"}`] <= 0 {
+		t.Fatal("exec phase sum not positive")
+	}
+}
+
+// TestSlowEndpoint checks the flight-recorder dump: /slow returns at
+// most 2K ops, slowest first, each with a coherent stamp vector and the
+// batch that carried it.
+func TestSlowEndpoint(t *testing.T) {
+	const k = 4
+	s := startServer(t, server.Config{Workers: 4, Seed: 41, SlowK: k})
+	hammer(t, s.Addr().String(), 8, 50)
+
+	srv := httptest.NewServer(s.SlowHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var slow []obs.SlowOp
+	if err := json.NewDecoder(resp.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) == 0 || len(slow) > 2*k {
+		t.Fatalf("/slow returned %d ops, want 1..%d", len(slow), 2*k)
+	}
+	for i, op := range slow {
+		if i > 0 && op.TotalNS > slow[i-1].TotalNS {
+			t.Fatalf("ops not slowest-first at %d: %d after %d", i, op.TotalNS, slow[i-1].TotalNS)
+		}
+		for j := 1; j < obs.NumPhases; j++ {
+			if op.Stamps[j] < op.Stamps[j-1] {
+				t.Fatalf("op %d stamps out of order: %v", i, op.Stamps)
+			}
+		}
+		if op.TotalNS != op.Stamps[obs.PhaseDone]-op.Stamps[obs.PhaseRead] {
+			t.Fatalf("op %d TotalNS %d != Done-Read %d", i, op.TotalNS,
+				op.Stamps[obs.PhaseDone]-op.Stamps[obs.PhaseRead])
+		}
+		if op.DS != "counter" || op.BatchSize < 1 {
+			t.Fatalf("op %d bookkeeping: ds=%q batch_size=%d", i, op.DS, op.BatchSize)
+		}
+	}
+
+	// SlowK < 0 disables the recorder; the endpoint must 404.
+	off := startServer(t, server.Config{Workers: 2, Seed: 43, SlowK: -1})
+	offSrv := httptest.NewServer(off.SlowHandler())
+	defer offSrv.Close()
+	r2, err := offSrv.Client().Get(offSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 404 {
+		t.Fatalf("disabled /slow returned %d, want 404", r2.StatusCode)
+	}
+}
+
+// TestPhaseEchoLoadgen closes the client loop: a Workload with Phases
+// set receives every op's stamp vector and aggregates client-side
+// batch-delay and phase histograms with one observation per response.
+func TestPhaseEchoLoadgen(t *testing.T) {
+	s := startServer(t, server.Config{Workers: 4, Seed: 47})
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr: s.Addr().String(), Conns: 4, Ops: 100, Window: 8,
+		DS: server.DSCounter, Seed: 5, Phases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Responses != 400 || res.Errors != 0 {
+		t.Fatalf("responses=%d errors=%d", res.Responses, res.Errors)
+	}
+	if res.BatchDelay == nil || res.BatchDelay.Count() != res.Responses {
+		t.Fatalf("batch-delay observations = %v, want %d", res.BatchDelay, res.Responses)
+	}
+	for i, h := range res.Phase {
+		if h.Count() != res.Responses {
+			t.Fatalf("phase %q observations = %d, want %d", obs.PhaseNames[i], h.Count(), res.Responses)
+		}
+	}
+	if res.PhaseBreakdown() == "" {
+		t.Fatal("PhaseBreakdown empty for a phased run")
+	}
+
+	// Without Phases the responses must be legacy-shaped: no histograms.
+	res2, err := loadgen.Run(loadgen.Workload{
+		Addr: s.Addr().String(), Conns: 2, Ops: 50, Window: 8,
+		DS: server.DSCounter, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BatchDelay != nil {
+		t.Fatal("unphased run aggregated batch delay")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"batcher/internal/obs"
 )
 
 // ErrFrameTooLarge is wrapped by ReadFrame errors caused by a length
@@ -73,6 +75,14 @@ const (
 	OpSucc uint8 = 4
 )
 
+// OpFlagPhases is a modifier bit on the request op byte: the client
+// asks the server to echo the operation's phase-stamp vector back in
+// the response (a FlagPhases trailer). The server masks it off before
+// validating the (ds, op) pair, so it composes with every operation
+// code. Requests without the bit get byte-identical responses to the
+// pre-phase protocol — the extension is fully backward compatible.
+const OpFlagPhases uint8 = 0x80
+
 // Response flag bits.
 const (
 	// FlagOK carries the operation's boolean result (presence, "newly
@@ -88,11 +98,20 @@ const (
 	FlagErr uint8 = 1 << 1
 	// FlagPayload marks a response carrying payload bytes.
 	FlagPayload uint8 = 1 << 2
+	// FlagPhases marks a response carrying a phase-stamp trailer: the
+	// last phaseTrailer bytes of the body are obs.NumPhases little-endian
+	// int64 stamps (obs.Now nanoseconds, PhaseRead first), after the
+	// payload if both are present. Set only when the request carried
+	// OpFlagPhases and the server had stamps to report.
+	FlagPhases uint8 = 1 << 3
 )
 
 const (
 	reqBody  = 8 + 1 + 1 + 8 + 8 // id, ds, op, key, val
 	respBody = 8 + 1 + 8 + 8     // id, flags, key, res
+
+	// phaseTrailer is the byte length of a FlagPhases stamp trailer.
+	phaseTrailer = 8 * obs.NumPhases
 
 	// maxFrame bounds any frame body, guarding readers against garbage
 	// or hostile length prefixes.
@@ -115,6 +134,9 @@ type Response struct {
 	Key     int64
 	Res     int64
 	Payload []byte
+	// Phases carries the operation's stamp vector when FlagPhases is
+	// set (see obs.PhaseRead..PhaseDone for slot meanings).
+	Phases [obs.NumPhases]int64
 }
 
 // OK reports the operation's boolean result.
@@ -138,16 +160,29 @@ func AppendRequest(buf []byte, q Request) []byte {
 }
 
 // AppendResponse appends r's wire encoding to buf and returns the
-// extended slice.
+// extended slice. When r.Flags carries FlagPhases, r.Phases is encoded
+// as the trailing stamp block.
 func AppendResponse(buf []byte, r Response) []byte {
+	body := respBody + len(r.Payload)
+	if r.Flags&FlagPhases != 0 {
+		body += phaseTrailer
+	}
 	var f [4 + respBody]byte
-	binary.LittleEndian.PutUint32(f[0:], uint32(respBody+len(r.Payload)))
+	binary.LittleEndian.PutUint32(f[0:], uint32(body))
 	binary.LittleEndian.PutUint64(f[4:], r.ID)
 	f[12] = r.Flags
 	binary.LittleEndian.PutUint64(f[13:], uint64(r.Key))
 	binary.LittleEndian.PutUint64(f[21:], uint64(r.Res))
 	buf = append(buf, f[:]...)
-	return append(buf, r.Payload...)
+	buf = append(buf, r.Payload...)
+	if r.Flags&FlagPhases != 0 {
+		var t [phaseTrailer]byte
+		for i, s := range r.Phases {
+			binary.LittleEndian.PutUint64(t[8*i:], uint64(s))
+		}
+		buf = append(buf, t[:]...)
+	}
+	return buf
 }
 
 // ReadFrame reads one length-prefixed frame body into buf (growing it
@@ -196,6 +231,17 @@ func DecodeResponse(b []byte) (Response, error) {
 		Flags: b[8],
 		Key:   int64(binary.LittleEndian.Uint64(b[9:])),
 		Res:   int64(binary.LittleEndian.Uint64(b[17:])),
+	}
+	if r.Flags&FlagPhases != 0 {
+		// The stamp trailer sits at the very end, after any payload.
+		if len(b) < respBody+phaseTrailer {
+			return Response{}, fmt.Errorf("server: response body %d bytes, too short for phase trailer", len(b))
+		}
+		t := b[len(b)-phaseTrailer:]
+		for i := range r.Phases {
+			r.Phases[i] = int64(binary.LittleEndian.Uint64(t[8*i:]))
+		}
+		b = b[:len(b)-phaseTrailer]
 	}
 	if r.Flags&FlagPayload != 0 {
 		r.Payload = b[respBody:]

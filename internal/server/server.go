@@ -65,6 +65,14 @@ type Config struct {
 	// a power of two). Zero disables tracing; the /metrics registry is
 	// always available.
 	TraceRing int
+	// SlowK sets the tail flight recorder's reservoir size: the K
+	// slowest operations per window are kept with their full phase
+	// vectors, dumpable via SlowHandler (/slow). Defaults to 16;
+	// negative disables the recorder.
+	SlowK int
+	// SlowWindow sets the flight recorder's rotation period (the
+	// "slowest per window" horizon). Defaults to 10s.
+	SlowWindow time.Duration
 }
 
 // Server owns a listener, a scheduler runtime, one instance of each
@@ -110,6 +118,15 @@ type Server struct {
 	latHist   [4]*obs.Histogram
 	tracer    *obs.Tracer
 
+	// Phase attribution (metrics.go): one histogram per lifecycle phase
+	// duration (obs.PhaseNames order), the derived batch-delay histogram
+	// (the paper's per-op batch-delay term, observed exactly once per
+	// pump-served operation in complete), and the tail flight recorder
+	// behind /slow (nil when Config.SlowK < 0).
+	phaseHist [obs.NumPhases - 1]*obs.Histogram
+	delayHist *obs.Histogram
+	flight    *obs.FlightRecorder
+
 	reqPool sync.Pool
 }
 
@@ -123,6 +140,8 @@ type request struct {
 	id      uint64
 	flags   uint8 // pre-set for rejections and stats; 0 means "derive from op"
 	dsIdx   int8  // wire ds code of an accepted op; selects its latency histogram
+	echo    bool  // client set OpFlagPhases: echo the stamp vector
+	phased  bool  // op completed through the pump, so its stamps are valid
 	start   time.Time
 	payload []byte
 }
@@ -362,6 +381,8 @@ func (s *Server) dispatch(c *conn, q Request) {
 	rq.c = c
 	rq.id = q.ID
 	rq.flags = 0
+	rq.echo = q.Op&OpFlagPhases != 0
+	rq.phased = false
 	rq.payload = nil
 	rq.op.Kind = 0
 	rq.op.Key = q.Key
@@ -369,6 +390,13 @@ func (s *Server) dispatch(c *conn, q Request) {
 	rq.op.Res = 0
 	rq.op.Ok = false
 	rq.op.Err = nil // pooled records may carry a prior contained-panic Err
+	q.Op &^= OpFlagPhases
+	// PhaseRead: the request is decoded and its window slot held.
+	// Stamped before target validation so even rejected ops carry a
+	// coherent vector; the phase telescope (Done−Read) and the wall
+	// latency (time.Since(rq.start)) then measure near-identical
+	// intervals, which the phase-sum invariant test relies on.
+	rq.op.Phases[obs.PhaseRead] = obs.Now()
 
 	if q.DS == DSStats {
 		rq.flags = FlagOK | FlagPayload
@@ -403,6 +431,10 @@ func (s *Server) dispatch(c *conn, q Request) {
 	)
 	wait := time.Microsecond
 	for {
+		// Submit itself stamps obs.PhaseAdmit (under the queue mutex, so
+		// the pump worker's later reads are ordered after it): [Read,
+		// Admit) is the ingress phase — decode to admission, including
+		// every saturation retry of this loop.
 		err := s.pump.Submit(&rq.op)
 		if err == nil {
 			s.accepted.Add(1)
@@ -487,6 +519,35 @@ func (s *Server) complete(op *sched.OpRecord) {
 		s.failed.Add(1)
 	}
 	s.latHist[rq.dsIdx].Observe(int64(time.Since(rq.start)))
+
+	// PhaseDone closes the stamp vector; the phase histograms and the
+	// batch-delay histogram observe exactly one value per pump-served
+	// operation here (contained-panic ops included), so the delay
+	// histogram's count equals the scheduler's LiveBatchStats op count
+	// once the server quiesces. Everything below is allocation-free:
+	// fixed arrays, atomic histogram bumps, and a by-value reservoir
+	// offer that fast-rejects all but tail ops.
+	op.Phases[obs.PhaseDone] = obs.Now()
+	rq.phased = true
+	durs := obs.PhaseDurations(op.Phases)
+	for i, h := range s.phaseHist {
+		h.Observe(durs[i])
+	}
+	s.delayHist.Observe(obs.BatchDelay(op.Phases))
+	if s.flight != nil {
+		s.flight.Offer(obs.SlowOp{
+			TotalNS:    op.Phases[obs.PhaseDone] - op.Phases[obs.PhaseRead],
+			Stamps:     op.Phases,
+			Durations:  durs,
+			BatchDelay: obs.BatchDelay(op.Phases),
+			DS:         dsNames[rq.dsIdx],
+			Kind:       int32(op.Kind),
+			Key:        op.Key,
+			BatchSize:  op.BatchSize,
+			BatchGroup: op.BatchGroup,
+			Err:        op.Err != nil,
+		})
+	}
 	rq.c.out <- rq
 }
 
@@ -507,13 +568,21 @@ func (s *Server) writeLoop(c *conn) {
 					flags = FlagOK
 				}
 			}
-			buf = AppendResponse(buf[:0], Response{
+			resp := Response{
 				ID:      rq.id,
 				Flags:   flags,
 				Key:     rq.op.Key,
 				Res:     rq.op.Res,
 				Payload: rq.payload,
-			})
+			}
+			if rq.echo && rq.phased {
+				// The client asked for phase attribution and the op went
+				// through the pump, so its stamp vector is complete: echo
+				// it as the response trailer.
+				resp.Flags |= FlagPhases
+				resp.Phases = rq.op.Phases
+			}
+			buf = AppendResponse(buf[:0], resp)
 			// A peer that stops reading (slowloris) stalls each write at
 			// most WriteStallTimeout; past it the connection breaks and
 			// its remaining responses are abandoned, freeing the window.
