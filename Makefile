@@ -26,12 +26,15 @@ bench-json:
 	go test -run '^$$' -bench 'Fig5Real|CounterReal|RuntimeForkJoin|BatchifyRoundTrip|ServerThroughput' \
 		-benchmem $(BENCH_ARGS) . | go run ./cmd/batcherlab benchjson -o BENCH_sched.json
 
-# End-to-end serving benchmark (batcherd over loopback TCP) ->
+# End-to-end serving benchmarks (batcherd over loopback TCP) ->
 # BENCH_server.json. Appends one JSONL line per run so the file keeps a
-# trajectory instead of being overwritten.
+# trajectory instead of being overwritten. ServerHighFanIn is the
+# reactor's flat-cost witness (pre-dialed conns, 4 -> 1024); give it a
+# large -benchtime (the nightly uses 50000x) for steady-state numbers —
+# tiny iteration counts measure per-run fan-out, not serving.
 SERVER_BENCH_ARGS ?= -benchtime=2000x -count=1
 bench-server:
-	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
+	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay|ServerHighFanIn' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
 		| go run ./cmd/batcherlab benchjson -append -o BENCH_server.json
 
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).

@@ -21,11 +21,15 @@
 //	    slots per worker), streamed.
 //
 //	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
-//	              [-read 0.5] [-window 16] [-rate 0] [-keyspace 65536] [-phases]
+//	              [-read 0.5] [-pipeline 16] [-rate 0] [-keyspace 65536] [-phases]
 //	    Drive a workload at a running server and report throughput and
 //	    latency percentiles, then print the server's stats document.
 //	    -phases asks the server to echo each op's phase-stamp vector and
 //	    prints the client-side phase breakdown and batch-delay tail.
+//	    -conns takes either one connection count or a comma-separated
+//	    sweep ("4,64,256,1024"); a sweep pre-dials each fan-in level and
+//	    prints a ns/op-vs-conns table instead of the single-run report,
+//	    making the reactor's flat per-op cost visible from the shell.
 //
 //	batcherd stats [-addr host:7411]
 //	    Fetch and print the server's stats document.
@@ -42,6 +46,8 @@ import (
 	"os/signal"
 	"runtime"
 	rtrace "runtime/trace"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -202,12 +208,13 @@ func registerRuntimeTrace(mux *http.ServeMux) {
 func loadCmd(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7411", "server address")
-	conns := fs.Int("conns", 64, "concurrent connections")
+	conns := fs.String("conns", "64", "concurrent connections; a comma-separated list (\"4,64,256\") sweeps fan-in and prints a ns/op table")
 	ops := fs.Int("ops", 1000, "operations per connection")
 	dsName := fs.String("ds", "skiplist", "target structure: counter|skiplist|tree23|hashmap")
 	read := fs.Float64("read", 0.5, "fraction of lookups (rest are inserts)")
-	window := fs.Int("window", 16, "closed-loop pipelining depth per connection")
-	rate := fs.Float64("rate", 0, "open-loop aggregate ops/s (0 = closed-loop)")
+	window := fs.Int("window", 16, "closed-loop pipelining depth per connection (alias of -pipeline)")
+	pipeline := fs.Int("pipeline", 0, "closed-loop pipelining depth per connection (overrides -window when set)")
+	rate := fs.Float64("rate", 0, "open-loop aggregate ops/s (0 = closed-loop; incompatible with a -conns sweep)")
 	keyspace := fs.Int64("keyspace", 1<<16, "key range")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	phases := fs.Bool("phases", false, "request per-op phase attribution and print the phase breakdown")
@@ -223,11 +230,29 @@ func loadCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "batcherd: unknown structure %q\n", *dsName)
 		os.Exit(2)
 	}
-	res, err := loadgen.Run(loadgen.Workload{
-		Addr: *addr, Conns: *conns, Ops: *ops, Window: *window,
+	sweep, err := parseConns(*conns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batcherd: -conns %q: %v\n", *conns, err)
+		os.Exit(2)
+	}
+	w := loadgen.Workload{
+		Addr: *addr, Ops: *ops, Window: *window, Pipeline: *pipeline,
 		RatePerSec: *rate, DS: ds, ReadFrac: *read,
 		KeySpace: *keyspace, Seed: *seed, Phases: *phases,
-	})
+	}
+
+	if len(sweep) > 1 {
+		if *rate > 0 {
+			fmt.Fprintln(os.Stderr, "batcherd: -conns sweep is closed-loop only; drop -rate")
+			os.Exit(2)
+		}
+		sweepCmd(w, sweep)
+		printStats(*addr)
+		return
+	}
+
+	w.Conns = sweep[0]
+	res, err := loadgen.Run(w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batcherd: load: %v (partial: %v)\n", err, res)
 		os.Exit(1)
@@ -237,6 +262,66 @@ func loadCmd(args []string) {
 		fmt.Print(res.PhaseBreakdown())
 	}
 	printStats(*addr)
+}
+
+// parseConns parses the -conns value: one count or a comma-separated
+// sweep list.
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("connection counts must be positive integers")
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// sweepCmd runs the workload once per fan-in level, pre-dialing each
+// level's connections so the table reflects steady-state per-op cost,
+// and prints ns/op against conns. A flat ns/op column from the first
+// row to the last is the reactor edge doing its job: per-op cost that
+// does not grow with connection count.
+func sweepCmd(w loadgen.Workload, sweep []int) {
+	fmt.Printf("%8s %9s %10s %10s %12s %10s %10s\n",
+		"conns", "pipeline", "total_ops", "ns/op", "ops/s", "p50", "p99")
+	var base float64
+	for _, n := range sweep {
+		w.Conns = n
+		d, err := loadgen.NewDriver(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batcherd: sweep conns=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		total := w.Ops * n
+		res, err := d.Run(total)
+		d.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batcherd: sweep conns=%d: %v (partial: %v)\n", n, err, res)
+			os.Exit(1)
+		}
+		nsPerOp := float64(res.Elapsed.Nanoseconds()) / float64(res.Responses)
+		rel := ""
+		if base == 0 {
+			base = nsPerOp
+		} else if base > 0 {
+			rel = fmt.Sprintf("  (%.2fx)", nsPerOp/base)
+		}
+		fmt.Printf("%8d %9d %10d %10.0f %12.0f %10s %10s%s\n",
+			n, pipelineDepth(w), total, nsPerOp, res.OpsPerSec, res.P50, res.P99, rel)
+	}
+}
+
+// pipelineDepth resolves the effective per-conn depth for display.
+func pipelineDepth(w loadgen.Workload) int {
+	if w.Pipeline > 0 {
+		return w.Pipeline
+	}
+	if w.Window > 0 {
+		return w.Window
+	}
+	return 16
 }
 
 func statsCmd(args []string) {
@@ -263,6 +348,12 @@ func printStats(addr string) {
 		st.Accepted, st.Rejected, st.Completed, st.OpsPerSec)
 	fmt.Printf("batch:  %d batches, %d ops, mean size %.2f, queue depth %d\n",
 		st.Batches, st.BatchedOps, st.MeanBatch, st.QueueDepth)
-	fmt.Printf("faults: failed=%d batch_panics=%d decode_errors=%d\n",
-		st.Failed, st.BatchPanics, st.DecodeErrors)
+	fmt.Printf("faults: failed=%d batch_panics=%d decode_errors=%d evictions=%d\n",
+		st.Failed, st.BatchPanics, st.DecodeErrors, st.Evictions)
+	if st.BatchedOps > 0 && st.ReadSyscalls > 0 && st.WriteSyscalls > 0 {
+		fmt.Printf("edge:   %d reactor loops, %d reads, %d writes (%.1f ops/read, %.1f ops/write)\n",
+			st.ReactorLoops, st.ReadSyscalls, st.WriteSyscalls,
+			float64(st.BatchedOps)/float64(st.ReadSyscalls),
+			float64(st.BatchedOps)/float64(st.WriteSyscalls))
+	}
 }

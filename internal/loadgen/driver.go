@@ -22,6 +22,10 @@ type Workload struct {
 	// Window requests are outstanding, each response permits the next
 	// send. Defaults to 16. Ignored in open-loop mode.
 	Window int
+	// Pipeline, when positive, overrides Window. It is the same knob
+	// under the name the batcherd load subcommand exposes (-pipeline);
+	// having both lets callers keep old Window-based configs working.
+	Pipeline int
 	// RatePerSec, when positive, switches to open-loop mode: requests
 	// are paced at this aggregate rate across all connections regardless
 	// of response progress, so queueing delay shows up as latency
@@ -41,6 +45,25 @@ type Workload struct {
 	// vector feeds the Result's batch-delay and per-phase histograms —
 	// client-visible latency decomposed into the scheduler's phases.
 	Phases bool
+}
+
+// normalize applies defaults and resolves the Pipeline/Window aliasing.
+func (w *Workload) normalize() {
+	if w.Conns <= 0 {
+		w.Conns = 8
+	}
+	if w.Ops <= 0 {
+		w.Ops = 1000
+	}
+	if w.Pipeline > 0 {
+		w.Window = w.Pipeline
+	}
+	if w.Window <= 0 {
+		w.Window = 16
+	}
+	if w.KeySpace <= 0 {
+		w.KeySpace = 1 << 16
+	}
 }
 
 // Result aggregates a run's outcome.
@@ -107,78 +130,80 @@ func (r Result) PhaseBreakdown() string {
 	return s
 }
 
+// agg merges per-connection results into one Result. Its report method
+// is safe for concurrent use by connection goroutines.
+type agg struct {
+	mu     sync.Mutex
+	res    Result
+	hist   *obs.Histogram
+	first  error
+	phases bool
+}
+
+func newAgg(phases bool) *agg {
+	a := &agg{hist: obs.NewHistogram(), phases: phases}
+	if phases {
+		a.res.BatchDelay = obs.NewHistogram()
+		for i := range a.res.Phase {
+			a.res.Phase[i] = obs.NewHistogram()
+		}
+	}
+	return a
+}
+
+func (a *agg) report(cs *connStats, err error) {
+	a.mu.Lock()
+	a.res.Sent += cs.sent
+	a.res.Responses += cs.responses
+	a.res.Errors += cs.errors
+	a.hist.Merge(cs.lats)
+	if a.phases {
+		a.res.BatchDelay.Merge(cs.delay)
+		for i := range a.res.Phase {
+			a.res.Phase[i].Merge(cs.phase[i])
+		}
+	}
+	if err != nil && a.first == nil {
+		a.first = err
+	}
+	a.mu.Unlock()
+}
+
+func (a *agg) finish(elapsed time.Duration) (Result, error) {
+	res := a.res
+	res.Elapsed = elapsed
+	if a.first != nil {
+		return res, a.first
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Responses) / elapsed.Seconds()
+	}
+	if a.hist.Count() > 0 {
+		res.Latency = a.hist
+		pct := func(p float64) time.Duration { return time.Duration(a.hist.Quantile(p)) }
+		res.P50, res.P95, res.P99, res.P999 = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
+		res.Max = time.Duration(a.hist.Max())
+	}
+	return res, nil
+}
+
 // Run executes the workload and reports aggregate results. Each
 // connection runs its own client goroutine(s); latencies are collected
 // per connection and merged at the end.
 func Run(w Workload) (Result, error) {
-	if w.Conns <= 0 {
-		w.Conns = 8
-	}
-	if w.Ops <= 0 {
-		w.Ops = 1000
-	}
-	if w.Window <= 0 {
-		w.Window = 16
-	}
-	if w.KeySpace <= 0 {
-		w.KeySpace = 1 << 16
-	}
-
-	var (
-		mu    sync.Mutex
-		res   Result
-		hist  = obs.NewHistogram()
-		first error
-	)
-	if w.Phases {
-		res.BatchDelay = obs.NewHistogram()
-		for i := range res.Phase {
-			res.Phase[i] = obs.NewHistogram()
-		}
-	}
-	report := func(cs *connStats, err error) {
-		mu.Lock()
-		res.Sent += cs.sent
-		res.Responses += cs.responses
-		res.Errors += cs.errors
-		hist.Merge(cs.lats)
-		if w.Phases {
-			res.BatchDelay.Merge(cs.delay)
-			for i := range res.Phase {
-				res.Phase[i].Merge(cs.phase[i])
-			}
-		}
-		if err != nil && first == nil {
-			first = err
-		}
-		mu.Unlock()
-	}
-
+	w.normalize()
+	a := newAgg(w.Phases)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < w.Conns; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runConn(w, i, report)
+			runConn(w, i, a.report)
 		}(i)
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
-	if first != nil {
-		return res, first
-	}
-
-	if res.Elapsed > 0 {
-		res.OpsPerSec = float64(res.Responses) / res.Elapsed.Seconds()
-	}
-	if hist.Count() > 0 {
-		res.Latency = hist
-		pct := func(p float64) time.Duration { return time.Duration(hist.Quantile(p)) }
-		res.P50, res.P95, res.P99, res.P999 = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
-		res.Max = time.Duration(hist.Max())
-	}
-	return res, nil
+	return a.finish(time.Since(start))
 }
 
 // connStats is one connection's contribution to the aggregate Result.
@@ -189,19 +214,141 @@ type connStats struct {
 	phase                   [obs.NumPhases - 1]*obs.Histogram
 }
 
-// runConn drives one connection. In closed-loop mode a single goroutine
-// interleaves sends and receives, keeping up to Window requests in
-// flight. In open-loop mode a sender paces requests on schedule while a
-// separate receiver drains responses. Responses arrive in completion
-// order, so send timestamps are matched to responses by request id.
-func runConn(w Workload, idx int, report func(*connStats, error)) {
+func newConnStats(phases bool) *connStats {
 	cs := &connStats{lats: obs.NewHistogram()}
-	if w.Phases {
+	if phases {
 		cs.delay = obs.NewHistogram()
 		for i := range cs.phase {
 			cs.phase[i] = obs.NewHistogram()
 		}
 	}
+	return cs
+}
+
+// observe records one response against its send time. A zero t0 means
+// the send time is unknown (open-loop map miss); the response still
+// counts, it just contributes no latency sample.
+func (cs *connStats) observe(resp server.Response, t0 time.Time) {
+	if !t0.IsZero() {
+		cs.lats.Observe(int64(time.Since(t0)))
+	}
+	if resp.Flags&server.FlagPhases != 0 && cs.delay != nil {
+		cs.delay.Observe(obs.BatchDelay(resp.Phases))
+		durs := obs.PhaseDurations(resp.Phases)
+		for i, h := range cs.phase {
+			h.Observe(durs[i])
+		}
+	}
+	cs.responses++
+	if resp.Err() {
+		cs.errors++
+	}
+}
+
+// connState is one connection's reusable driving state: the client, its
+// RNG, and a ring of send timestamps indexed by request id. Client ids
+// are sequential, so with a ring at least Window slots wide the ids in
+// flight always map to distinct slots — no map, no per-op allocation,
+// and the state survives across Driver.Run calls.
+type connState struct {
+	c     *Client
+	r     *rng.Rand
+	times []time.Time
+	mask  uint64
+}
+
+func newConnState(c *Client, w *Workload, idx int) *connState {
+	size := 1
+	for size < w.Window {
+		size <<= 1
+	}
+	return &connState{
+		c:     c,
+		r:     rng.New(w.Seed + uint64(idx)*0x9e3779b97f4a7c15 + 1),
+		times: make([]time.Time, size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// nextReq generates the next request from the connection's RNG.
+func (st *connState) nextReq(w *Workload) server.Request {
+	q := server.Request{DS: w.DS, Key: int64(st.r.Uint64() % uint64(w.KeySpace))}
+	if w.DS != server.DSCounter && st.r.Float64() < w.ReadFrac {
+		q.Op = server.OpLookup
+	} else {
+		q.Op = server.OpInsert
+		q.Val = q.Key * 2
+	}
+	if w.DS == server.DSCounter {
+		q.Op = server.OpInsert
+		q.Val = 1
+	}
+	if w.Phases {
+		q.Op |= server.OpFlagPhases
+	}
+	return q
+}
+
+// recvOne receives one response and matches its send time in the ring.
+func (st *connState) recvOne(cs *connStats) error {
+	resp, err := st.c.Recv()
+	if err != nil {
+		return err
+	}
+	cs.observe(resp, st.times[resp.ID&st.mask])
+	return nil
+}
+
+// closedLoop drives ops requests with up to w.Window in flight, in
+// bursts: top the window up, flush once, then drain half a window of
+// responses to make room for the next burst. One flush thus covers up
+// to Window/2 requests — the client amortizes its syscalls the same way
+// the server's reactor coalesces responses, instead of flushing every
+// op at steady state. Latency is measured from Send, so it includes the
+// sub-burst buffering delay; that is the honest cost of the pipelining
+// the run asked for.
+func closedLoop(w *Workload, st *connState, ops int, cs *connStats) error {
+	burst := w.Window / 2
+	if burst < 1 {
+		burst = 1
+	}
+	inFlight, sent := 0, 0
+	for sent < ops || inFlight > 0 {
+		for inFlight < w.Window && sent < ops {
+			id, err := st.c.Send(st.nextReq(w))
+			if err != nil {
+				return err
+			}
+			st.times[id&st.mask] = time.Now()
+			cs.sent++
+			sent++
+			inFlight++
+		}
+		if err := st.c.Flush(); err != nil {
+			return err
+		}
+		drainTo := w.Window - burst
+		if sent == ops {
+			drainTo = 0 // nothing left to send: drain the tail
+		}
+		for inFlight > drainTo {
+			if err := st.recvOne(cs); err != nil {
+				return err
+			}
+			inFlight--
+		}
+	}
+	return nil
+}
+
+// runConn drives one connection. In closed-loop mode a single goroutine
+// interleaves burst sends and receives, keeping up to Window requests
+// in flight. In open-loop mode a sender paces requests on schedule
+// while a separate receiver drains responses. Responses arrive in
+// completion order, so send timestamps are matched to responses by
+// request id.
+func runConn(w Workload, idx int, report func(*connStats, error)) {
+	cs := newConnStats(w.Phases)
 	fail := func(err error) { report(cs, err) }
 
 	c, err := Dial(w.Addr)
@@ -210,66 +357,29 @@ func runConn(w Workload, idx int, report func(*connStats, error)) {
 		return
 	}
 	defer c.Close()
-
-	r := rng.New(w.Seed + uint64(idx)*0x9e3779b97f4a7c15 + 1)
-	nextReq := func() server.Request {
-		q := server.Request{DS: w.DS, Key: int64(r.Uint64() % uint64(w.KeySpace))}
-		if w.DS != server.DSCounter && r.Float64() < w.ReadFrac {
-			q.Op = server.OpLookup
-		} else {
-			q.Op = server.OpInsert
-			q.Val = q.Key * 2
-		}
-		if w.DS == server.DSCounter {
-			q.Op = server.OpInsert
-			q.Val = 1
-		}
-		if w.Phases {
-			q.Op |= server.OpFlagPhases
-		}
-		return q
-	}
-
-	sendTimes := make(map[uint64]time.Time, w.Window)
-	var stMu sync.Mutex // only contended in open-loop mode
-
-	recvOne := func() error {
-		resp, err := c.Recv()
-		if err != nil {
-			return err
-		}
-		stMu.Lock()
-		t0, ok := sendTimes[resp.ID]
-		delete(sendTimes, resp.ID)
-		stMu.Unlock()
-		if ok {
-			cs.lats.Observe(int64(time.Since(t0)))
-		}
-		if resp.Flags&server.FlagPhases != 0 && cs.delay != nil {
-			cs.delay.Observe(obs.BatchDelay(resp.Phases))
-			durs := obs.PhaseDurations(resp.Phases)
-			for i, h := range cs.phase {
-				h.Observe(durs[i])
-			}
-		}
-		cs.responses++
-		if resp.Err() {
-			cs.errors++
-		}
-		return nil
-	}
+	st := newConnState(c, &w, idx)
 
 	if w.RatePerSec > 0 {
-		// Open-loop: pace sends; drain responses concurrently.
+		// Open-loop: pace sends; drain responses concurrently. In-flight
+		// count is unbounded here, so send times live in a map keyed by
+		// id rather than the fixed ring.
+		sendTimes := make(map[uint64]time.Time, w.Window)
+		var stMu sync.Mutex
 		interval := time.Duration(float64(w.Conns) * float64(time.Second) / w.RatePerSec)
 		recvDone := make(chan error, 1)
 		remaining := w.Ops
 		go func() {
 			for i := 0; i < remaining; i++ {
-				if err := recvOne(); err != nil {
+				resp, err := c.Recv()
+				if err != nil {
 					recvDone <- err
 					return
 				}
+				stMu.Lock()
+				t0 := sendTimes[resp.ID]
+				delete(sendTimes, resp.ID)
+				stMu.Unlock()
+				cs.observe(resp, t0)
 			}
 			recvDone <- nil
 		}()
@@ -277,7 +387,7 @@ func runConn(w Workload, idx int, report func(*connStats, error)) {
 		defer tick.Stop()
 		for i := 0; i < w.Ops; i++ {
 			<-tick.C
-			q := nextReq()
+			q := st.nextReq(&w)
 			stMu.Lock()
 			id, err := c.Send(q)
 			if err == nil {
@@ -299,36 +409,77 @@ func runConn(w Workload, idx int, report func(*connStats, error)) {
 		return
 	}
 
-	// Closed-loop: fill the window, then lockstep recv-then-send.
-	inFlight := 0
-	for i := 0; i < w.Ops; i++ {
-		if inFlight == w.Window {
-			if err := recvOne(); err != nil {
-				fail(err)
-				return
-			}
-			inFlight--
-		}
-		id, err := c.Send(nextReq())
-		if err != nil {
-			fail(err)
-			return
-		}
-		sendTimes[id] = time.Now()
-		cs.sent++
-		inFlight++
-		if inFlight == w.Window || i == w.Ops-1 {
-			if err := c.Flush(); err != nil {
-				fail(err)
-				return
-			}
-		}
-	}
-	for ; inFlight > 0; inFlight-- {
-		if err := recvOne(); err != nil {
-			fail(err)
-			return
-		}
+	if err := closedLoop(&w, st, w.Ops, cs); err != nil {
+		fail(err)
+		return
 	}
 	report(cs, nil)
+}
+
+// Driver is a pre-dialed closed-loop workload: NewDriver dials every
+// connection up front, then each Run drives a chosen number of
+// operations over the established connections. Benchmarks use it so
+// that high-fan-in runs (hundreds or thousands of connections) measure
+// steady-state per-op cost, not dialing and teardown — dial once,
+// ResetTimer, then Run b.N ops. Runs reuse all per-connection state
+// (buffers, RNGs, timestamp rings); request ids keep advancing across
+// Runs. Not safe for concurrent Runs.
+type Driver struct {
+	w     Workload
+	conns []*connState
+}
+
+// NewDriver normalizes the workload (open-loop is not supported:
+// RatePerSec is ignored) and dials w.Conns connections.
+func NewDriver(w Workload) (*Driver, error) {
+	w.normalize()
+	w.RatePerSec = 0
+	d := &Driver{w: w}
+	for i := 0; i < w.Conns; i++ {
+		c, err := Dial(w.Addr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("loadgen: dial conn %d/%d: %w", i, w.Conns, err)
+		}
+		d.conns = append(d.conns, newConnState(c, &w, i))
+	}
+	return d, nil
+}
+
+// Conns reports how many connections the driver holds.
+func (d *Driver) Conns() int { return len(d.conns) }
+
+// Run drives totalOps operations split evenly across the pre-dialed
+// connections (the first totalOps mod Conns connections carry one
+// extra) and reports the aggregate, like the package-level Run but
+// without dial cost. Workload.Ops is ignored; totalOps governs.
+func (d *Driver) Run(totalOps int) (Result, error) {
+	a := newAgg(d.w.Phases)
+	per, extra := totalOps/len(d.conns), totalOps%len(d.conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, st := range d.conns {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(st *connState, n int) {
+			defer wg.Done()
+			cs := newConnStats(d.w.Phases)
+			a.report(cs, closedLoop(&d.w, st, n, cs))
+		}(st, n)
+	}
+	wg.Wait()
+	return a.finish(time.Since(start))
+}
+
+// Close closes every connection.
+func (d *Driver) Close() {
+	for _, st := range d.conns {
+		st.c.Close()
+	}
 }

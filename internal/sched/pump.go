@@ -146,6 +146,67 @@ func (p *Pump) Submit(op *OpRecord) error {
 	return nil
 }
 
+// SubmitAll enqueues as many of ops as the ingress queue has room for,
+// under one mutex acquisition and with at most one waker call — the
+// bulk analogue of Submit for callers (batcherd's reactor loops) that
+// decode several operations from one socket read. It returns the count
+// admitted, which is a prefix of ops: the first n records are queued
+// and must not be reused until OnDone delivers them; ops[n:] are
+// untouched and remain the caller's to retry or reject. err is nil when
+// every record was admitted, ErrPumpSaturated when the queue filled
+// first, and ErrPumpClosed (with n == 0) after Close.
+func (p *Pump) SubmitAll(ops []*OpRecord) (n int, err error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	for _, op := range ops {
+		if op.DS == nil {
+			panic("sched: SubmitAll with nil OpRecord.DS")
+		}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		if tr := p.rt.tracer; tr != nil {
+			tr.Record(tr.ExternalRing(), obs.EvPumpReject, 2, 0)
+		}
+		return 0, ErrPumpClosed
+	}
+	free := p.cfg.QueueCap - (len(p.q) - p.head)
+	n = len(ops)
+	if n > free {
+		n = free
+	}
+	for _, op := range ops[:n] {
+		if p.rt.stampPhases {
+			// PhaseAdmit, inside the critical section for the same ordering
+			// reason as Submit: the claiming pump worker is ordered after
+			// this store by the mutex handoff.
+			op.Phases[obs.PhaseAdmit] = obs.Now()
+		}
+		p.q = append(p.q, op)
+	}
+	depth := len(p.q) - p.head
+	p.mu.Unlock()
+	if tr := p.rt.tracer; tr != nil {
+		for i := 0; i < n; i++ {
+			tr.Record(tr.ExternalRing(), obs.EvPumpAdmit, int64(depth), 0)
+		}
+		if n < len(ops) {
+			tr.Record(tr.ExternalRing(), obs.EvPumpReject, 1, 0)
+		}
+	}
+	if n > 0 {
+		// One wake covers the whole prefix: a parking pump re-checks the
+		// queue after beginPark, so it sees every record published above.
+		p.rt.idle.wake()
+	}
+	if n < len(ops) {
+		return n, ErrPumpSaturated
+	}
+	return n, nil
+}
+
 // Close stops admission and begins the drain: operations already
 // accepted are still batched and delivered, then Serve returns. Close
 // is idempotent and safe to call concurrently from any goroutine; it

@@ -135,6 +135,58 @@ func TestPumpSaturationAndClosed(t *testing.T) {
 	}
 }
 
+// TestPumpSubmitAll pins the bulk-submission contract: admission is a
+// prefix, the count is exact against queue capacity, the remainder is
+// untouched, and admitted records drain like any Submit. A closed pump
+// admits nothing.
+func TestPumpSubmitAll(t *testing.T) {
+	rt := New(Config{Workers: 2, Seed: 9})
+	p := NewPump(rt, PumpConfig{QueueCap: 3})
+	ds := &pumpSumDS{}
+
+	ops := make([]*OpRecord, 5)
+	for i := range ops {
+		ops[i] = &OpRecord{DS: ds, Val: 1}
+	}
+	// Not serving: capacity 3 admits exactly the first three.
+	n, err := p.SubmitAll(ops)
+	if n != 3 || err != ErrPumpSaturated {
+		t.Fatalf("SubmitAll = (%d, %v), want (3, ErrPumpSaturated)", n, err)
+	}
+	if d := p.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	// The rejected suffix was not enqueued: retrying it alone still
+	// finds a full queue.
+	if n, err := p.SubmitAll(ops[3:]); n != 0 || err != ErrPumpSaturated {
+		t.Fatalf("retry SubmitAll = (%d, %v), want (0, ErrPumpSaturated)", n, err)
+	}
+	if n, err := p.SubmitAll(nil); n != 0 || err != nil {
+		t.Fatalf("empty SubmitAll = (%d, %v), want (0, nil)", n, err)
+	}
+
+	p.Close()
+	if n, err := p.SubmitAll(ops[3:]); n != 0 || err != ErrPumpClosed {
+		t.Fatalf("SubmitAll after Close = (%d, %v), want (0, ErrPumpClosed)", n, err)
+	}
+
+	// Serve drains exactly the admitted prefix.
+	p.Serve()
+	if ds.total != 3 {
+		t.Fatalf("total = %d, want 3", ds.total)
+	}
+	for i, op := range ops[:3] {
+		if !op.Ok {
+			t.Fatalf("admitted op %d not completed", i)
+		}
+	}
+	for i, op := range ops[3:] {
+		if op.Ok {
+			t.Fatalf("rejected op %d was executed", i+3)
+		}
+	}
+}
+
 func TestPumpDoubleClose(t *testing.T) {
 	rt := New(Config{Workers: 2, Seed: 5})
 	p := NewPump(rt, PumpConfig{})

@@ -47,6 +47,74 @@ func BenchmarkServerLoopback(b *testing.B) {
 			b.ReportMetric(st.MeanBatch, "batch-size")
 			b.ReportMetric(res.OpsPerSec, "ops/s")
 			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+			// Syscall amortization: ops per socket syscall on each side
+			// of the edge. Counter reads are free, so -short runs record
+			// them too.
+			if n := float64(res.Responses); n > 0 {
+				b.ReportMetric(float64(st.ReadSyscalls)/n, "rsys/op")
+				b.ReportMetric(float64(st.WriteSyscalls)/n, "wsys/op")
+			}
+		})
+	}
+}
+
+// BenchmarkServerHighFanIn is the reactor's figure of merit: per-op
+// cost as fan-in grows from 4 to 1024 connections. Connections are
+// pre-dialed by a loadgen.Driver so the timed region is pure
+// steady-state serving — the flat-cost claim is that ns/op at 256
+// conns stays within 1.5x of 4 conns, and allocs/op stays in low
+// single digits (the nightly benchcmp gate holds both). Alloc counts
+// include the in-process client, which runs allocation-free at steady
+// state on its timestamp rings.
+func BenchmarkServerHighFanIn(b *testing.B) {
+	for _, conns := range []int{4, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			// QueueCap is sized to the offered load (up to 1024 conns x 16
+			// in flight): the default 8xP queue would park nearly every op
+			// in the saturation path and the bench would measure parking,
+			// not the edge.
+			s, err := server.Start(server.Config{Workers: 4, Seed: 43, QueueCap: 4096})
+			if err != nil {
+				b.Fatalf("Start: %v", err)
+			}
+			defer s.Shutdown()
+			d, err := loadgen.NewDriver(loadgen.Workload{
+				Addr:     s.Addr().String(),
+				Conns:    conns,
+				Pipeline: 16,
+				DS:       server.DSHashmap,
+				ReadFrac: 0.5,
+				KeySpace: 1 << 14,
+				Seed:     43,
+			})
+			if err != nil {
+				b.Fatalf("NewDriver: %v", err)
+			}
+			defer d.Close()
+			// Warm pools, outbufs, and the pump queue before timing.
+			if _, err := d.Run(conns * 4); err != nil {
+				b.Fatalf("warmup: %v", err)
+			}
+
+			before := s.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := d.Run(b.N)
+			b.StopTimer()
+			if err != nil {
+				b.Fatalf("driver: %v", err)
+			}
+			if res.Errors != 0 {
+				b.Fatalf("%d ops rejected", res.Errors)
+			}
+			st := s.Snapshot()
+			b.ReportMetric(st.MeanBatch, "batch-size")
+			b.ReportMetric(res.OpsPerSec, "ops/s")
+			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+			if n := float64(res.Responses); n > 0 {
+				b.ReportMetric(float64(st.ReadSyscalls-before.ReadSyscalls)/n, "rsys/op")
+				b.ReportMetric(float64(st.WriteSyscalls-before.WriteSyscalls)/n, "wsys/op")
+			}
 		})
 	}
 }

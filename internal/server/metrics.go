@@ -39,6 +39,12 @@ func (s *Server) buildMetrics() {
 		"accepted operations completed with Err (contained batch panic)", nil, s.failed.Load)
 	reg.CounterFunc("batcherd_decode_errors_total",
 		"connections dropped for malformed frames", nil, s.decodeErr.Load)
+	reg.CounterFunc("batcherd_evictions_total",
+		"connections torn down for deadline or protocol violations", nil, s.evictions.Load)
+	reg.CounterFunc("batcherd_read_syscalls_total",
+		"socket read syscalls issued by the reader loops", nil, s.readSys.Load)
+	reg.CounterFunc("batcherd_write_syscalls_total",
+		"socket write syscalls issued by the writer loops", nil, s.writeSys.Load)
 	reg.CounterFunc("batcherd_batch_panics_total",
 		"batch groups whose BOP panicked and was contained", nil, s.rt.BatchPanics)
 	reg.CounterFunc("batcherd_batches_total",
@@ -61,6 +67,10 @@ func (s *Server) buildMetrics() {
 	reg.GaugeFunc("batcherd_conns",
 		"currently open connections", nil, func() float64 {
 			return float64(s.curConns.Load())
+		})
+	reg.GaugeFunc("batcherd_reactor_loops",
+		"reader/writer loop pairs in the reactor pool", nil, func() float64 {
+			return float64(len(s.rloops))
 		})
 	reg.GaugeFunc("batcherd_queue_depth",
 		"pump ingress queue depth", nil, func() float64 {

@@ -206,6 +206,27 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// SplitFrame splits one length-prefixed frame off the front of b
+// without copying: body aliases b, rest is the unconsumed tail. ok is
+// false when b does not yet hold a complete frame (more bytes must
+// arrive); err is non-nil for a hostile length prefix (wraps
+// ErrFrameTooLarge). It is the non-blocking analogue of ReadFrame, used
+// by the reactor's reader loops to carve many frames out of one socket
+// read.
+func SplitFrame(b []byte) (body, rest []byte, ok bool, err error) {
+	if len(b) < 4 {
+		return nil, b, false, nil
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxFrame {
+		return nil, b, false, fmt.Errorf("server: %w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	if len(b) < 4+int(n) {
+		return nil, b, false, nil
+	}
+	return b[4 : 4+n], b[4+n:], true, nil
+}
+
 // DecodeRequest decodes a request frame body.
 func DecodeRequest(b []byte) (Request, error) {
 	if len(b) != reqBody {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package server_test
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation- and syscall-count assertions are skipped under -race:
+// instrumentation changes both.
+const raceEnabled = false

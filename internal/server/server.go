@@ -1,10 +1,9 @@
 package server
 
 import (
-	"bufio"
-	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,25 +31,32 @@ type Config struct {
 	// stops reading the socket while the window is full, so backpressure
 	// propagates to the client as TCP flow control. Defaults to 32.
 	Window int
+	// ReactorLoops sets the reactor pool size: the number of shared
+	// reader loops and writer loops serving all connections (sharded by
+	// accept order). Defaults to min(NumCPU, 8); values below 1 are
+	// raised to 1. More loops than cores only adds contention.
+	ReactorLoops int
 	// DrainTimeout bounds how long Shutdown waits for in-flight
 	// responses to reach slow clients before forcing connections closed.
 	// Defaults to 5s.
 	DrainTimeout time.Duration
 	// IdleTimeout bounds how long a live connection may go without
-	// delivering a complete frame: the reader refreshes a read deadline
-	// before each frame, so a half-open peer (or one that sent a torn
-	// frame and stalled) is closed and its window slots reclaimed
-	// instead of being held until Shutdown. Defaults to 2m; negative
-	// disables.
+	// delivering a complete frame: the reader loops' sweep evicts a
+	// half-open peer (or one that sent a torn frame and stalled) and
+	// reclaims its window slots instead of holding them until Shutdown.
+	// A connection parked on its full window is exempt — it is waiting
+	// on the server, not the reverse. Defaults to 2m; negative disables.
 	IdleTimeout time.Duration
-	// WriteStallTimeout bounds each response write (and flush) to a
-	// client. A peer that stops reading stalls the writer at most this
-	// long, after which the connection is torn down — abandoning its
-	// responses but releasing its window slots — so dead readers cannot
-	// pin in-flight operations. Defaults to 30s; negative disables.
+	// WriteStallTimeout bounds how long a connection's responses may sit
+	// unwritable (the peer stopped reading). Past it the connection is
+	// torn down — abandoning its responses but releasing its window
+	// slots — so dead readers cannot pin in-flight operations. The stall
+	// is per connection: a stalled conn parks on its writer loop's
+	// blocked list and never delays its loop-mates. Defaults to 30s;
+	// negative disables.
 	WriteStallTimeout time.Duration
-	// SaturationTimeout caps the total time a reader may park waiting
-	// for space in a saturated pump queue before the request is rejected
+	// SaturationTimeout caps the total time a decoded request may park
+	// waiting for space in a saturated pump queue before it is rejected
 	// with FlagErr. Defaults to 30s; negative disables the cap (park
 	// until shutdown, the pre-containment behavior).
 	SaturationTimeout time.Duration
@@ -76,8 +82,9 @@ type Config struct {
 }
 
 // Server owns a listener, a scheduler runtime, one instance of each
-// served data structure, and the pump that joins them. Start it with
-// Start, stop it with Shutdown.
+// served data structure, the pump that joins them, and the reactor pool
+// (reactor.go) that joins the pump to the sockets. Start it with Start,
+// stop it with Shutdown.
 type Server struct {
 	cfg  Config
 	ln   net.Listener
@@ -92,22 +99,39 @@ type Server struct {
 	hmap sched.Batched
 
 	start time.Time
-	quit  chan struct{}
-	done  chan struct{}
-	stop  sync.Once
+	quit  chan struct{} // closed when Shutdown begins: stop reading
+	// edgeStop is closed when every conn has finalized: loops may exit.
+	edgeStop chan struct{}
+	done     chan struct{}
+	stop     sync.Once
+
+	// The reactor pool. A conn accepted as number i belongs to reader
+	// loop i%N and writer loop i%N.
+	rloops   []*rloop
+	wloops   []*wloop
+	nextConn uint64 // accept-order counter; accept goroutine only
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
-	connWG sync.WaitGroup // one per live connection handler
-	srvWG  sync.WaitGroup // accept loop + pump.Serve
+	conns  map[*conn]struct{}
+	connWG sync.WaitGroup // one per live conn; released at finalize
+	srvWG  sync.WaitGroup // accept + pump.Serve + reactor loops
+
+	// Saturation retry list: conns parked on a full pump queue, kicked
+	// by the next completion (reactor.go satAdd/kickSaturated).
+	satMu    sync.Mutex
+	satConns []*conn
+	satCount atomic.Int64
 
 	curConns  atomic.Int64
 	accepted  atomic.Int64 // operations admitted into the pump
 	rejected  atomic.Int64 // operations refused (bad op, saturation cap, shutdown)
-	completed atomic.Int64 // responses handed to connection writers
+	completed atomic.Int64 // responses retired by the writer loops
 	immediate atomic.Int64 // responses that bypassed the pump (stats, rejections)
 	failed    atomic.Int64 // accepted operations completed with Err (contained batch panic)
 	decodeErr atomic.Int64 // connections dropped for malformed frames
+	readSys   atomic.Int64 // socket read syscalls (reader loops)
+	writeSys  atomic.Int64 // socket write syscalls (writer loops)
+	evictions atomic.Int64 // conns torn down for deadline/protocol violations
 
 	// Observability (metrics.go): the registry backing /metrics, the
 	// batch-size histogram shared with the scheduler, per-structure
@@ -146,18 +170,6 @@ type request struct {
 	payload []byte
 }
 
-// conn is one accepted connection. The window channel is the in-flight
-// semaphore: the reader acquires a slot before reading each request and
-// the writer releases it after writing the response, so at most Window
-// operations are outstanding and the out channel (capacity Window)
-// always has room — completion callbacks never block a scheduler
-// worker.
-type conn struct {
-	nc     net.Conn
-	out    chan *request
-	window chan struct{}
-}
-
 // Start builds the runtime and structures, binds the listener, and
 // begins serving. It returns once the server is accepting connections.
 func Start(cfg Config) (*Server, error) {
@@ -166,6 +178,15 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
+	}
+	if cfg.ReactorLoops <= 0 {
+		cfg.ReactorLoops = runtime.NumCPU()
+		if cfg.ReactorLoops > 8 {
+			cfg.ReactorLoops = 8
+		}
+	}
+	if cfg.ReactorLoops < 1 {
+		cfg.ReactorLoops = 1
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
@@ -198,17 +219,18 @@ func Start(cfg Config) (*Server, error) {
 	}
 	rt := sched.New(sched.Config{Workers: cfg.Workers, Seed: cfg.Seed})
 	s := &Server{
-		cfg:   cfg,
-		ln:    ln,
-		rt:    rt,
-		ctr:   wrap(DSCounter, counter.New(0)),
-		skip:  wrap(DSSkiplist, skiplist.NewBatched(cfg.Seed^0x9e3779b97f4a7c15)),
-		tree:  wrap(DSTree23, tree23.NewBatched()),
-		hmap:  wrap(DSHashmap, hashmap.NewBatched(cfg.Seed^0xd1342543de82ef95)),
-		start: time.Now(),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		rt:       rt,
+		ctr:      wrap(DSCounter, counter.New(0)),
+		skip:     wrap(DSSkiplist, skiplist.NewBatched(cfg.Seed^0x9e3779b97f4a7c15)),
+		tree:     wrap(DSTree23, tree23.NewBatched()),
+		hmap:     wrap(DSHashmap, hashmap.NewBatched(cfg.Seed^0xd1342543de82ef95)),
+		start:    time.Now(),
+		quit:     make(chan struct{}),
+		edgeStop: make(chan struct{}),
+		done:     make(chan struct{}),
+		conns:    make(map[*conn]struct{}),
 	}
 	s.reqPool.New = func() any {
 		rq := &request{}
@@ -222,9 +244,44 @@ func Start(cfg Config) (*Server, error) {
 	// Metrics/tracing attach to the runtime and must happen before the
 	// pump occupies it.
 	s.buildMetrics()
-	s.srvWG.Add(2)
+
+	// Build the reactor pool before accepting: conns shard onto the
+	// loops at accept time.
+	s.rloops = make([]*rloop, cfg.ReactorLoops)
+	for i := range s.rloops {
+		l := &rloop{
+			s:     s,
+			id:    i,
+			conns: make(map[*conn]struct{}),
+			fds:   make(map[int]*conn),
+		}
+		l.sc.readBuf = make([]byte, readBufSize)
+		if err := l.initPoll(); err != nil {
+			for _, prev := range s.rloops[:i] {
+				prev.poll.close()
+			}
+			ln.Close()
+			return nil, err
+		}
+		s.rloops[i] = l
+	}
+	s.wloops = make([]*wloop, cfg.ReactorLoops)
+	for i := range s.wloops {
+		s.wloops[i] = &wloop{s: s, id: i, notify: make(chan struct{}, 1)}
+	}
+
+	s.srvWG.Add(2 + len(s.wloops))
 	go func() { defer s.srvWG.Done(); s.pump.Serve() }()
 	go func() { defer s.srvWG.Done(); s.accept() }()
+	for _, w := range s.wloops {
+		go w.run()
+	}
+	if reactorRunsLoops {
+		s.srvWG.Add(len(s.rloops))
+		for _, l := range s.rloops {
+			go l.run()
+		}
+	}
 	return s, nil
 }
 
@@ -243,33 +300,42 @@ func (s *Server) Shutdown() {
 	s.stop.Do(func() {
 		s.ln.Close()
 		close(s.quit)
-		// Unblock readers parked in ReadFrame; admitted operations keep
-		// draining through the pump and each conn's writer.
-		s.connMu.Lock()
-		for nc := range s.conns {
-			nc.SetReadDeadline(time.Now())
-		}
-		s.connMu.Unlock()
-		// Past the drain budget, force the sockets down entirely so
-		// writers stuck on unresponsive clients error out and release
-		// their window slots.
+		// Wake every loop: reader loops park their conns (sweepQuit) and
+		// reject parked submissions; admitted operations keep draining
+		// through the pump and the writer loops, which close each conn
+		// as its last response leaves.
+		s.wakeEdge()
+		// Past the drain budget, force the remaining conns down entirely
+		// so stalled writers abandon their responses and release their
+		// window slots.
 		force := time.AfterFunc(s.cfg.DrainTimeout, func() {
-			s.connMu.Lock()
-			for nc := range s.conns {
-				nc.SetDeadline(time.Now())
+			for _, c := range s.connSnapshot() {
+				s.evict(c, evictShutdown)
 			}
-			s.connMu.Unlock()
 		})
 		s.connWG.Wait()
 		force.Stop()
-		// All connections have fully drained (writers release window
-		// slots only after their responses are written or abandoned), so
-		// the pump queue is quiescent; Close lets Serve return.
+		// Every conn has finalized: all completions have passed through
+		// the writer loops, so the loops can exit and the pump queue is
+		// quiescent; Close lets Serve return.
+		close(s.edgeStop)
+		s.wakeEdge()
 		s.pump.Close()
 		s.srvWG.Wait()
 		close(s.done)
 	})
 	<-s.done
+}
+
+// connSnapshot copies the live conn set (force-eviction, wakeEdge).
+func (s *Server) connSnapshot() []*conn {
+	s.connMu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connMu.Unlock()
+	return conns
 }
 
 func (s *Server) accept() {
@@ -286,194 +352,22 @@ func (s *Server) accept() {
 			return
 		default:
 		}
-		s.conns[nc] = struct{}{}
+		i := s.nextConn
+		s.nextConn++
+		c := &conn{
+			s:  s,
+			nc: nc,
+			fd: -1,
+			rl: s.rloops[i%uint64(len(s.rloops))],
+			wl: s.wloops[i%uint64(len(s.wloops))],
+		}
+		c.lastFrame = obs.Now()
+		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
 		s.connMu.Unlock()
 		s.curConns.Add(1)
-		go s.handle(nc)
+		s.registerConn(c)
 	}
-}
-
-// handle runs one connection: this goroutine is the reader, with a
-// dedicated writer goroutine feeding the socket from the out channel.
-func (s *Server) handle(nc net.Conn) {
-	defer s.connWG.Done()
-	c := &conn{
-		nc:     nc,
-		out:    make(chan *request, s.cfg.Window),
-		window: make(chan struct{}, s.cfg.Window),
-	}
-	var writerWG sync.WaitGroup
-	writerWG.Add(1)
-	go func() { defer writerWG.Done(); s.writeLoop(c) }()
-
-	s.readLoop(c)
-
-	// Teardown: reclaim every window slot. Each in-flight operation
-	// holds one and releases it only after its response is written (or
-	// abandoned on a dead socket), so once all slots are back, no
-	// completion can touch the out channel again and it is safe to
-	// close.
-	for i := 0; i < s.cfg.Window; i++ {
-		c.window <- struct{}{}
-	}
-	close(c.out)
-	writerWG.Wait()
-	nc.Close()
-	s.connMu.Lock()
-	delete(s.conns, nc)
-	s.connMu.Unlock()
-	s.curConns.Add(-1)
-}
-
-func (s *Server) readLoop(c *conn) {
-	var buf []byte
-	for {
-		// Admission: take a window slot before touching the socket. A
-		// full window means Window responses are still owed; not reading
-		// is precisely TCP backpressure on the client.
-		select {
-		case c.window <- struct{}{}:
-		case <-s.quit:
-			return
-		}
-		// Idle deadline: a half-open peer, or one that sent a torn frame
-		// and stalled, times out here and releases its slots instead of
-		// holding them until Shutdown. Refreshed per frame, so any live
-		// traffic keeps the connection open indefinitely. Ordering versus
-		// Shutdown matters: Shutdown closes quit *before* stamping its
-		// immediate deadlines, so a reader that overwrites one here is
-		// guaranteed to see quit closed in the re-check below — no reader
-		// is left blocked for a full IdleTimeout during shutdown.
-		if s.cfg.IdleTimeout > 0 {
-			c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-			select {
-			case <-s.quit:
-				<-c.window
-				return
-			default:
-			}
-		}
-		body, err := ReadFrame(c.nc, buf)
-		if err != nil {
-			if errors.Is(err, ErrFrameTooLarge) {
-				s.decodeErr.Add(1)
-			}
-			<-c.window // the slot just taken; no request carries it
-			return
-		}
-		buf = body[:0]
-		q, err := DecodeRequest(body)
-		if err != nil {
-			s.decodeErr.Add(1)
-			<-c.window
-			return // protocol error: drop the connection
-		}
-		s.dispatch(c, q)
-	}
-}
-
-// dispatch routes one decoded request, with its window slot already
-// held. Every path either submits the operation to the pump or enqueues
-// an immediate response; both eventually release the slot in the writer.
-func (s *Server) dispatch(c *conn, q Request) {
-	rq := s.reqPool.Get().(*request)
-	rq.c = c
-	rq.id = q.ID
-	rq.flags = 0
-	rq.echo = q.Op&OpFlagPhases != 0
-	rq.phased = false
-	rq.payload = nil
-	rq.op.Kind = 0
-	rq.op.Key = q.Key
-	rq.op.Val = q.Val
-	rq.op.Res = 0
-	rq.op.Ok = false
-	rq.op.Err = nil // pooled records may carry a prior contained-panic Err
-	q.Op &^= OpFlagPhases
-	// PhaseRead: the request is decoded and its window slot held.
-	// Stamped before target validation so even rejected ops carry a
-	// coherent vector; the phase telescope (Done−Read) and the wall
-	// latency (time.Since(rq.start)) then measure near-identical
-	// intervals, which the phase-sum invariant test relies on.
-	rq.op.Phases[obs.PhaseRead] = obs.Now()
-
-	if q.DS == DSStats {
-		rq.flags = FlagOK | FlagPayload
-		rq.payload = s.statsJSON()
-		s.immediate.Add(1)
-		c.out <- rq
-		return
-	}
-	ds, kind, ok := s.target(q.DS, q.Op)
-	if !ok {
-		s.rejected.Add(1)
-		s.immediate.Add(1)
-		rq.flags = FlagErr
-		c.out <- rq
-		return
-	}
-	rq.op.DS = ds
-	rq.op.Kind = kind
-	rq.dsIdx = int8(q.DS)
-	rq.start = time.Now()
-	// Park on saturation: the pump's bounded queue is the global ingress
-	// limit in front of the pending array, and this reader already holds
-	// a window slot, so blocking here stops the connection from reading,
-	// which the client sees as TCP backpressure. The park is bounded by
-	// SaturationTimeout: past the cap the request is rejected with
-	// FlagErr rather than pinning the reader forever behind a wedged
-	// queue. One timer is reused across retries (time.After would leak
-	// a timer per backoff step on a saturated server).
-	var (
-		timer    *time.Timer
-		deadline time.Time
-	)
-	wait := time.Microsecond
-	for {
-		// Submit itself stamps obs.PhaseAdmit (under the queue mutex, so
-		// the pump worker's later reads are ordered after it): [Read,
-		// Admit) is the ingress phase — decode to admission, including
-		// every saturation retry of this loop.
-		err := s.pump.Submit(&rq.op)
-		if err == nil {
-			s.accepted.Add(1)
-			if timer != nil {
-				timer.Stop()
-			}
-			return
-		}
-		if err == sched.ErrPumpClosed {
-			break
-		}
-		if timer == nil {
-			if s.cfg.SaturationTimeout > 0 {
-				deadline = time.Now().Add(s.cfg.SaturationTimeout)
-			}
-			timer = time.NewTimer(wait)
-		} else {
-			timer.Reset(wait)
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			timer.Stop()
-			break
-		}
-		select {
-		case <-s.quit:
-			timer.Stop()
-			err = sched.ErrPumpClosed
-		case <-timer.C:
-			if wait < 128*time.Microsecond {
-				wait *= 2
-			}
-			continue
-		}
-		break
-	}
-	s.rejected.Add(1)
-	s.immediate.Add(1)
-	rq.flags = FlagErr
-	c.out <- rq
 }
 
 // target validates a (ds, op) pair and maps it onto a batched structure
@@ -506,12 +400,12 @@ func (s *Server) target(ds, op uint8) (sched.Batched, sched.OpKind, bool) {
 }
 
 // complete is the pump's OnDone callback, invoked on a scheduler worker
-// after a batch fills in the record. The out channel has one slot of
-// guaranteed capacity per window slot and this request holds a window
-// slot, so the send can never block the worker. An operation whose
-// batch group panicked (op.Err set by the contained-panic path) is
-// answered with FlagErr — failure is per operation, not per connection
-// or per process.
+// after a batch fills in the record. It never blocks: the response is
+// enqueued to the conn's writer loop (a bounded append), and if any
+// conns are parked on a saturated queue, the space this completion just
+// freed triggers their retry. An operation whose batch group panicked
+// (op.Err set by the contained-panic path) is answered with FlagErr —
+// failure is per operation, not per connection or per process.
 func (s *Server) complete(op *sched.OpRecord) {
 	rq := op.Aux.(*request)
 	if op.Err != nil {
@@ -548,74 +442,14 @@ func (s *Server) complete(op *sched.OpRecord) {
 			Err:        op.Err != nil,
 		})
 	}
-	rq.c.out <- rq
-}
-
-// writeLoop drains the out channel: encode, write, flush when idle,
-// release the window slot, recycle. After a socket error it keeps
-// draining — abandoning responses but still releasing slots — so that
-// in-flight operations can finish and teardown can reclaim the window.
-func (s *Server) writeLoop(c *conn) {
-	bw := bufio.NewWriter(c.nc)
-	var buf []byte
-	broken := false
-	stall := s.cfg.WriteStallTimeout
-	for rq := range c.out {
-		if !broken {
-			flags := rq.flags
-			if flags == 0 {
-				if rq.op.Ok {
-					flags = FlagOK
-				}
-			}
-			resp := Response{
-				ID:      rq.id,
-				Flags:   flags,
-				Key:     rq.op.Key,
-				Res:     rq.op.Res,
-				Payload: rq.payload,
-			}
-			if rq.echo && rq.phased {
-				// The client asked for phase attribution and the op went
-				// through the pump, so its stamp vector is complete: echo
-				// it as the response trailer.
-				resp.Flags |= FlagPhases
-				resp.Phases = rq.op.Phases
-			}
-			buf = AppendResponse(buf[:0], resp)
-			// A peer that stops reading (slowloris) stalls each write at
-			// most WriteStallTimeout; past it the connection breaks and
-			// its remaining responses are abandoned, freeing the window.
-			if stall > 0 {
-				c.nc.SetWriteDeadline(time.Now().Add(stall))
-			}
-			if _, err := bw.Write(buf); err != nil {
-				broken = true
-			} else if len(c.out) == 0 {
-				// Flush only when no more responses are queued: back-to-
-				// back completions (whole batches finishing at once)
-				// coalesce into one syscall.
-				if err := bw.Flush(); err != nil {
-					broken = true
-				}
-			}
-			if broken {
-				// Close the socket so the reader, likely parked in
-				// ReadFrame, errors out promptly and teardown reclaims
-				// the window slots of a dead connection.
-				c.nc.Close()
-			}
-		}
-		s.completed.Add(1)
-		rq.payload = nil
-		rq.c = nil
-		s.reqPool.Put(rq)
-		<-c.window
+	rq.c.wl.enqueue(rq)
+	if s.satCount.Load() > 0 {
+		s.kickSaturated()
 	}
 }
 
 // String describes the server for logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("batcherd on %s (P=%d, window=%d)",
-		s.ln.Addr(), s.rt.Workers(), s.cfg.Window)
+	return fmt.Sprintf("batcherd on %s (P=%d, window=%d, loops=%d)",
+		s.ln.Addr(), s.rt.Workers(), s.cfg.Window, len(s.rloops))
 }

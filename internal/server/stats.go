@@ -31,6 +31,19 @@ type Stats struct {
 	// DecodeErrors counts connections dropped for malformed frames
 	// (oversized length prefixes, short request bodies).
 	DecodeErrors int64 `json:"decode_errors"`
+	// Evictions counts connections torn down for deadline or protocol
+	// violations (idle, write stall, decode error, write error) — not
+	// normal closes or shutdown drains.
+	Evictions int64 `json:"evictions"`
+	// ReadSyscalls and WriteSyscalls count socket read/write syscalls
+	// issued by the reactor loops. Their ratio to BatchedOps is the
+	// edge's syscall amortization: well under 1 syscall/op when clients
+	// pipeline, because one read carves many frames and one write
+	// carries many coalesced responses.
+	ReadSyscalls  int64 `json:"read_syscalls"`
+	WriteSyscalls int64 `json:"write_syscalls"`
+	// ReactorLoops is the reactor pool size (reader/writer loop pairs).
+	ReactorLoops int `json:"reactor_loops"`
 	// BatchPanics counts batch groups whose BOP panicked and was
 	// contained (each may have failed several operations).
 	BatchPanics int64 `json:"batch_panics"`
@@ -54,19 +67,23 @@ func (s *Server) Snapshot() Stats {
 	up := time.Since(s.start).Seconds()
 	batches, ops := s.rt.LiveBatchStats()
 	st := Stats{
-		Workers:      s.rt.Workers(),
-		UptimeSec:    up,
-		Conns:        s.curConns.Load(),
-		Accepted:     s.accepted.Load(),
-		Rejected:     s.rejected.Load(),
-		Completed:    s.completed.Load(),
-		Immediate:    s.immediate.Load(),
-		Failed:       s.failed.Load(),
-		DecodeErrors: s.decodeErr.Load(),
-		BatchPanics:  s.rt.BatchPanics(),
-		Batches:      batches,
-		BatchedOps:   ops,
-		QueueDepth:   s.pump.Depth(),
+		Workers:       s.rt.Workers(),
+		UptimeSec:     up,
+		Conns:         s.curConns.Load(),
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Completed:     s.completed.Load(),
+		Immediate:     s.immediate.Load(),
+		Failed:        s.failed.Load(),
+		DecodeErrors:  s.decodeErr.Load(),
+		Evictions:     s.evictions.Load(),
+		ReadSyscalls:  s.readSys.Load(),
+		WriteSyscalls: s.writeSys.Load(),
+		ReactorLoops:  len(s.rloops),
+		BatchPanics:   s.rt.BatchPanics(),
+		Batches:       batches,
+		BatchedOps:    ops,
+		QueueDepth:    s.pump.Depth(),
 	}
 	if up > 0 {
 		st.OpsPerSec = float64(st.Completed-st.Immediate) / up
