@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	batcherd serve [-addr :7411] [-workers N] [-window 32] [-queue N]
+//	batcherd serve [-addr :7411] [-shards N] [-workers N] [-window 32] [-queue N]
 //	               [-idle-timeout D] [-write-stall D] [-saturation-timeout D]
 //	               [-metrics host:9100] [-trace-ring N] [-slow-k K] [-slow-window D]
 //	    Run the server until SIGINT/SIGTERM, then drain gracefully.
+//	    -shards runs N independent scheduler runtimes behind the one
+//	    listener, routing each op by hash(ds, key) (internal/shard);
+//	    the stats document and /metrics then report per shard.
 //	    -metrics serves an HTTP listener with /metrics (Prometheus text
 //	    format, including the per-phase and batch-delay histograms),
 //	    /slow (the tail flight recorder: the K slowest ops per window
@@ -21,7 +24,8 @@
 //	    slots per worker), streamed.
 //
 //	batcherd load [-addr host:7411] [-conns 64] [-ops 1000] [-ds skiplist]
-//	              [-read 0.5] [-pipeline 16] [-rate 0] [-keyspace 65536] [-phases]
+//	              [-read 0.5] [-pipeline 16] [-rate 0] [-keyspace 65536]
+//	              [-dist uniform|zipf] [-zipf-s 1.1] [-phases]
 //	    Drive a workload at a running server and report throughput and
 //	    latency percentiles, then print the server's stats document.
 //	    -phases asks the server to echo each op's phase-stamp vector and
@@ -32,7 +36,9 @@
 //	    making the reactor's flat per-op cost visible from the shell.
 //
 //	batcherd stats [-addr host:7411]
-//	    Fetch and print the server's stats document.
+//	    Fetch and print the server's stats document: aggregated totals,
+//	    and — when the server runs sharded — a per-shard table
+//	    (accepted, ops/s, batches, mean batch, queue depth, faults).
 package main
 
 import (
@@ -80,7 +86,8 @@ func usage() {
 func serveCmd(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers (P)")
+	shards := fs.Int("shards", 1, "independent runtime shards behind the listener (key-hashed routing)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers per shard (P)")
 	window := fs.Int("window", 32, "per-connection in-flight window")
 	queue := fs.Int("queue", 0, "pump ingress queue capacity (0 = 8×P)")
 	seed := fs.Uint64("seed", 20140623, "seed for the hashed structures")
@@ -96,6 +103,7 @@ func serveCmd(args []string) {
 
 	s, err := server.Start(server.Config{
 		Addr:              *addr,
+		Shards:            *shards,
 		Workers:           *workers,
 		Seed:              *seed,
 		QueueCap:          *queue,
@@ -216,6 +224,8 @@ func loadCmd(args []string) {
 	pipeline := fs.Int("pipeline", 0, "closed-loop pipelining depth per connection (overrides -window when set)")
 	rate := fs.Float64("rate", 0, "open-loop aggregate ops/s (0 = closed-loop; incompatible with a -conns sweep)")
 	keyspace := fs.Int64("keyspace", 1<<16, "key range")
+	dist := fs.String("dist", "uniform", "key distribution: uniform|zipf (zipf skews load across shards)")
+	zipfS := fs.Float64("zipf-s", 1.1, "zipf exponent (only with -dist zipf; higher = more skew)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	phases := fs.Bool("phases", false, "request per-op phase attribution and print the phase breakdown")
 	fs.Parse(args)
@@ -235,10 +245,15 @@ func loadCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "batcherd: -conns %q: %v\n", *conns, err)
 		os.Exit(2)
 	}
+	if *dist != "uniform" && *dist != "zipf" {
+		fmt.Fprintf(os.Stderr, "batcherd: unknown key distribution %q\n", *dist)
+		os.Exit(2)
+	}
 	w := loadgen.Workload{
 		Addr: *addr, Ops: *ops, Window: *window, Pipeline: *pipeline,
 		RatePerSec: *rate, DS: ds, ReadFrac: *read,
-		KeySpace: *keyspace, Seed: *seed, Phases: *phases,
+		KeySpace: *keyspace, KeyDist: *dist, ZipfS: *zipfS,
+		Seed: *seed, Phases: *phases,
 	}
 
 	if len(sweep) > 1 {
@@ -343,7 +358,7 @@ func printStats(addr string) {
 		fmt.Fprintf(os.Stderr, "batcherd: stats: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("server: P=%d uptime=%.1fs conns=%d\n", st.Workers, st.UptimeSec, st.Conns)
+	fmt.Printf("server: shards=%d P=%d uptime=%.1fs conns=%d\n", st.Shards, st.Workers, st.UptimeSec, st.Conns)
 	fmt.Printf("ops:    accepted=%d rejected=%d completed=%d (%.0f ops/s)\n",
 		st.Accepted, st.Rejected, st.Completed, st.OpsPerSec)
 	fmt.Printf("batch:  %d batches, %d ops, mean size %.2f, queue depth %d\n",
@@ -355,5 +370,14 @@ func printStats(addr string) {
 			st.ReactorLoops, st.ReadSyscalls, st.WriteSyscalls,
 			float64(st.BatchedOps)/float64(st.ReadSyscalls),
 			float64(st.BatchedOps)/float64(st.WriteSyscalls))
+	}
+	if len(st.PerShard) > 1 {
+		fmt.Printf("%6s %10s %10s %8s %8s %10s %7s %7s\n",
+			"shard", "accepted", "ops/s", "batches", "mean", "queue", "failed", "panics")
+		for _, sh := range st.PerShard {
+			fmt.Printf("%6d %10d %10.0f %8d %8.2f %10d %7d %7d\n",
+				sh.Shard, sh.Accepted, sh.OpsPerSec, sh.Batches, sh.MeanBatch,
+				sh.QueueDepth, sh.Failed, sh.BatchPanics)
+		}
 	}
 }

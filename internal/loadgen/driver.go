@@ -38,8 +38,21 @@ type Workload struct {
 	ReadFrac float64
 	// KeySpace bounds generated keys, [0, KeySpace). Defaults to 1<<16.
 	KeySpace int64
+	// KeyDist selects the key distribution: "uniform" (default) or
+	// "zipf". Zipfian keys are the shard-aware skew knob: against a
+	// sharded batcherd, hot keys concentrate on the shards that own
+	// them, so per-shard batch sizes and queue depths visibly diverge in
+	// the stats document — the router's placement made observable.
+	KeyDist string
+	// ZipfS is the zipf exponent (rank weight 1/rank^s). Defaults to
+	// 1.1; higher is more skewed. Ignored unless KeyDist is "zipf".
+	ZipfS float64
 	// Seed seeds the per-connection RNGs.
 	Seed uint64
+
+	// zipf is the shared rank CDF, built once by normalize (per-conn
+	// RNGs sample it independently; the table itself is read-only).
+	zipf *zipfGen
 	// Phases requests server-side phase attribution: every request
 	// carries server.OpFlagPhases, and each response's echoed stamp
 	// vector feeds the Result's batch-delay and per-phase histograms —
@@ -63,6 +76,13 @@ func (w *Workload) normalize() {
 	}
 	if w.KeySpace <= 0 {
 		w.KeySpace = 1 << 16
+	}
+	if w.KeyDist == "zipf" && w.zipf == nil {
+		s := w.ZipfS
+		if s <= 0 {
+			s = 1.1
+		}
+		w.zipf = newZipfGen(w.KeySpace, s)
 	}
 }
 
@@ -272,7 +292,13 @@ func newConnState(c *Client, w *Workload, idx int) *connState {
 
 // nextReq generates the next request from the connection's RNG.
 func (st *connState) nextReq(w *Workload) server.Request {
-	q := server.Request{DS: w.DS, Key: int64(st.r.Uint64() % uint64(w.KeySpace))}
+	var key int64
+	if w.zipf != nil {
+		key = w.zipf.sample(st.r)
+	} else {
+		key = int64(st.r.Uint64() % uint64(w.KeySpace))
+	}
+	q := server.Request{DS: w.DS, Key: key}
 	if w.DS != server.DSCounter && st.r.Float64() < w.ReadFrac {
 		q.Op = server.OpLookup
 	} else {

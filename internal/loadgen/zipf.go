@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+
+	"batcher/internal/rng"
+)
+
+// zipfMaxRanks caps the precomputed CDF table. A zipf CDF over more
+// ranks than this adds almost no mass to the tail (at s near 1 the top
+// million ranks already carry the distribution), so larger keyspaces
+// sample a rank in [0, zipfMaxRanks) and stretch it across the keyspace
+// by a fixed stride instead of tabulating every key.
+const zipfMaxRanks = 1 << 20
+
+// zipfGen samples keys with probability proportional to 1/rank^s via a
+// precomputed CDF and binary search: build cost is O(ranks) once per
+// workload, sample cost O(log ranks) with zero allocation, and the
+// table is shared read-only across connection goroutines. Rank i maps
+// to key (i*stride)%keySpace rather than key i, so the hot keys are
+// scattered across the keyspace (and therefore across shards) instead
+// of clustering at 0 — skew should stress placement, not alias it.
+type zipfGen struct {
+	cdf      []float64
+	keySpace int64
+	stride   int64
+}
+
+func newZipfGen(keySpace int64, s float64) *zipfGen {
+	n := keySpace
+	if n > zipfMaxRanks {
+		n = zipfMaxRanks
+	}
+	g := &zipfGen{
+		cdf:      make([]float64, n),
+		keySpace: keySpace,
+		// A large odd stride is coprime with any power-of-two keyspace
+		// (and shares no small factors with round decimal ones), so the
+		// rank->key map stays injective while dispersing hot ranks.
+		stride: 0x9e3779b9,
+	}
+	if g.stride >= keySpace {
+		g.stride = 1
+	}
+	total := 0.0
+	for i := int64(0); i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		g.cdf[i] = total
+	}
+	for i := range g.cdf {
+		g.cdf[i] /= total
+	}
+	return g
+}
+
+// sample draws one key. Safe for concurrent use with distinct RNGs.
+func (g *zipfGen) sample(r *rng.Rand) int64 {
+	u := r.Float64()
+	rank := sort.SearchFloat64s(g.cdf, u)
+	if rank >= len(g.cdf) {
+		rank = len(g.cdf) - 1
+	}
+	return (int64(rank) * g.stride) % g.keySpace
+}

@@ -35,6 +35,7 @@ type SlowOp struct {
 	DS         string               `json:"ds"`
 	Kind       int32                `json:"kind"`
 	Key        int64                `json:"key"`
+	Shard      int32                `json:"shard"`
 	BatchSize  int32                `json:"batch_size"`
 	BatchGroup int32                `json:"batch_group"`
 	Err        bool                 `json:"err"`

@@ -119,6 +119,67 @@ func BenchmarkServerHighFanIn(b *testing.B) {
 	}
 }
 
+// BenchmarkServerSharded sweeps shard count at fixed fan-in (256
+// pre-dialed connections) under uniform and zipfian key distributions.
+// shards=1 is the regression anchor: the router fast path must keep it
+// within 1.5x of the unsharded HighFanIn numbers (nightly benchcmp
+// gate). Higher shard counts show what per-shard admission buys — or
+// costs — on this box; on the 1-CPU CI machine the interesting figure
+// is the flat per-op overhead of span grouping, not parallel speedup.
+func BenchmarkServerSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		for _, dist := range []string{"uniform", "zipf"} {
+			b.Run(fmt.Sprintf("shards=%d/dist=%s", shards, dist), func(b *testing.B) {
+				// QueueCap is per shard; keep aggregate admission capacity
+				// constant across the sweep so saturation parking does not
+				// vary with the shard count.
+				s, err := server.Start(server.Config{
+					Workers:  2,
+					Seed:     47,
+					Shards:   shards,
+					QueueCap: 4096 / shards,
+				})
+				if err != nil {
+					b.Fatalf("Start: %v", err)
+				}
+				defer s.Shutdown()
+				d, err := loadgen.NewDriver(loadgen.Workload{
+					Addr:     s.Addr().String(),
+					Conns:    256,
+					Pipeline: 16,
+					DS:       server.DSHashmap,
+					ReadFrac: 0.5,
+					KeySpace: 1 << 14,
+					KeyDist:  dist,
+					Seed:     47,
+				})
+				if err != nil {
+					b.Fatalf("NewDriver: %v", err)
+				}
+				defer d.Close()
+				if _, err := d.Run(256 * 4); err != nil {
+					b.Fatalf("warmup: %v", err)
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				res, err := d.Run(b.N)
+				b.StopTimer()
+				if err != nil {
+					b.Fatalf("driver: %v", err)
+				}
+				if res.Errors != 0 {
+					b.Fatalf("%d ops rejected", res.Errors)
+				}
+				st := s.Snapshot()
+				b.ReportMetric(st.MeanBatch, "batch-size")
+				b.ReportMetric(res.OpsPerSec, "ops/s")
+				b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+			})
+		}
+	}
+}
+
 // BenchmarkServerBatchDelay measures the phase-attribution round trip:
 // requests carry OpFlagPhases, responses echo the stamp vector, and the
 // reported metrics decompose client-visible latency into the paper's

@@ -42,7 +42,7 @@ func TestChaosPanicIsolation(t *testing.T) {
 	s, err := server.Start(server.Config{
 		Workers: 4,
 		Seed:    77,
-		WrapDS: func(ds uint8, b sched.Batched) sched.Batched {
+		WrapDS: func(_ int, ds uint8, b sched.Batched) sched.Batched {
 			if ds == server.DSSkiplist {
 				panicker = &faultinject.Panicker{Inner: b, Poison: poison}
 				return panicker

@@ -37,8 +37,19 @@ func FuzzDecodeResponse(f *testing.F) {
 	withPayload := AppendResponse(nil, Response{
 		ID: 8, Flags: FlagOK | FlagPayload, Payload: []byte(`{"ok":true}`),
 	})
+	// A stats payload in the sharded shape clients actually receive:
+	// aggregated totals plus the per-shard breakdown.
+	statsPayload := AppendResponse(nil, Response{
+		ID: 9, Flags: FlagOK | FlagPayload,
+		Payload: []byte(`{"accepted":12,"completed":12,"shards":2,"per_shard":[` +
+			`{"shard":0,"accepted":5,"completed":5,"failed":0,"batches":3,"batched_ops":5,` +
+			`"mean_batch":1.67,"ops_per_sec":100,"queue_depth":0,"batch_panics":0},` +
+			`{"shard":1,"accepted":7,"completed":7,"failed":0,"batches":4,"batched_ops":7,` +
+			`"mean_batch":1.75,"ops_per_sec":140,"queue_depth":0,"batch_panics":0}]}`),
+	})
 	f.Add(valid[4:])
 	f.Add(withPayload[4:])
+	f.Add(statsPayload[4:])
 	f.Add([]byte{})
 	f.Add(valid[4 : len(valid)-1])
 	f.Fuzz(func(t *testing.T, b []byte) {

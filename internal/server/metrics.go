@@ -3,15 +3,19 @@ package server
 // Prometheus-style observability for batcherd. Every server owns an
 // obs.Registry; its counters and gauges are scrape-time reads of the
 // atomics the serving path already maintains, so registration costs the
-// hot path nothing. Two histogram families are recorded live: the batch
-// size distribution (the scheduler observes it once per executed batch
-// via Runtime.SetBatchSizeHistogram — its mean is exactly the
-// LiveBatchStats mean) and per-structure service latency, measured from
-// pump admission to batch completion.
+// hot path nothing. Histograms that describe scheduler behavior are per
+// shard, carrying a `shard` label: each shard is an independent
+// batching domain (its own runtime, pump, and pending array), so batch
+// size, queue depth, per-phase latency, and batch delay only mean
+// something per shard — per-shard batch-delay histograms are exactly
+// what keeps the Theorem 5.4 envelope auditable via `batcherlab audit`
+// when Shards > 1. Per-structure service latency stays process-wide
+// (a structure class spans shards; its clients see one latency).
 
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"time"
 
 	"batcher/internal/obs"
@@ -21,20 +25,20 @@ import (
 var dsNames = [4]string{"counter", "skiplist", "tree23", "hashmap"}
 
 // buildMetrics assembles the registry. Called from Start before the
-// pump begins serving (the runtime must be quiescent when the batch
+// pumps begin serving (each runtime must be quiescent when its batch
 // histogram and tracer are attached).
 func (s *Server) buildMetrics() {
 	reg := obs.NewRegistry()
 	s.reg = reg
 
 	reg.CounterFunc("batcherd_ops_accepted_total",
-		"operations admitted into the pump", nil, s.accepted.Load)
+		"operations admitted into a shard pump", nil, s.accepted.Load)
 	reg.CounterFunc("batcherd_ops_rejected_total",
 		"operations refused (bad op, saturation cap, shutdown)", nil, s.rejected.Load)
 	reg.CounterFunc("batcherd_ops_completed_total",
 		"responses handed to connection writers", nil, s.completed.Load)
 	reg.CounterFunc("batcherd_ops_immediate_total",
-		"responses that bypassed the pump (stats, rejections)", nil, s.immediate.Load)
+		"responses that bypassed the pumps (stats, rejections)", nil, s.immediate.Load)
 	reg.CounterFunc("batcherd_ops_failed_total",
 		"accepted operations completed with Err (contained batch panic)", nil, s.failed.Load)
 	reg.CounterFunc("batcherd_decode_errors_total",
@@ -46,23 +50,27 @@ func (s *Server) buildMetrics() {
 	reg.CounterFunc("batcherd_write_syscalls_total",
 		"socket write syscalls issued by the writer loops", nil, s.writeSys.Load)
 	reg.CounterFunc("batcherd_batch_panics_total",
-		"batch groups whose BOP panicked and was contained", nil, s.rt.BatchPanics)
+		"batch groups whose BOP panicked and was contained (all shards)", nil, s.router.BatchPanics)
 	reg.CounterFunc("batcherd_batches_total",
-		"batches executed by the scheduler", nil, func() int64 {
-			b, _ := s.rt.LiveBatchStats()
+		"batches executed by the shard schedulers", nil, func() int64 {
+			b, _ := s.router.LiveBatchStats()
 			return b
 		})
 	reg.CounterFunc("batcherd_batched_ops_total",
-		"operations carried by executed batches", nil, func() int64 {
-			_, ops := s.rt.LiveBatchStats()
+		"operations carried by executed batches (all shards)", nil, func() int64 {
+			_, ops := s.router.LiveBatchStats()
 			return ops
 		})
 	reg.CounterFunc("batcherd_steals_total",
-		"successful scheduler steals", nil, s.rt.LiveSteals)
+		"successful scheduler steals (all shards)", nil, s.router.LiveSteals)
 
 	reg.GaugeFunc("batcherd_workers",
-		"scheduler worker count (P)", nil, func() float64 {
-			return float64(s.rt.Workers())
+		"scheduler worker count per shard (P)", nil, func() float64 {
+			return float64(s.Runtime().Workers())
+		})
+	reg.GaugeFunc("batcherd_shards",
+		"independent runtime shards behind the listener", nil, func() float64 {
+			return float64(s.router.N())
 		})
 	reg.GaugeFunc("batcherd_conns",
 		"currently open connections", nil, func() float64 {
@@ -72,46 +80,59 @@ func (s *Server) buildMetrics() {
 		"reader/writer loop pairs in the reactor pool", nil, func() float64 {
 			return float64(len(s.rloops))
 		})
-	reg.GaugeFunc("batcherd_queue_depth",
-		"pump ingress queue depth", nil, func() float64 {
-			return float64(s.pump.Depth())
-		})
 	reg.GaugeFunc("batcherd_uptime_seconds",
 		"seconds since the server started", nil, func() float64 {
 			return time.Since(s.start).Seconds()
 		})
 
-	s.batchHist = reg.Histogram("batcherd_batch_size",
-		"operations per executed batch", nil)
-	s.rt.SetBatchSizeHistogram(s.batchHist)
 	for i, name := range dsNames {
 		s.latHist[i] = reg.Histogram("batcherd_service_latency_ns",
 			"pump-admission-to-completion latency per operation",
 			[]obs.Label{{Name: "ds", Value: name}})
 	}
 
-	// Per-op phase attribution: one histogram per lifecycle phase
-	// duration, plus the derived batch delay — PhaseLand−PhasePending,
-	// the per-op wait Theorem 5.4 charges (at most two batches' worth by
-	// Lemma 2). Stamping is always on for a server: its cost is one
-	// clock read and an array store per boundary, and the decomposition
-	// is the point of running batcherd observably.
-	s.rt.SetPhaseStamps(true)
-	for i, name := range obs.PhaseNames {
-		s.phaseHist[i] = reg.Histogram("batcherd_op_phase_ns",
-			"per-operation lifecycle phase duration",
-			[]obs.Label{{Name: "phase", Value: name}})
+	// Per-shard families. Phase stamping is always on for a server: its
+	// cost is one clock read and an array store per boundary, and the
+	// decomposition is the point of running batcherd observably. The
+	// batch-delay histogram is PhaseLand−PhasePending, the per-op wait
+	// Theorem 5.4 charges (at most two batches' worth by Lemma 2) —
+	// observed into the owning shard's histogram, because the bound is
+	// in terms of that shard's P and its pending array alone.
+	s.shardM = make([]shardMetrics, s.router.N())
+	for i := range s.shardM {
+		sh := s.router.Shard(i)
+		label := strconv.Itoa(i)
+		sm := &s.shardM[i]
+		sm.batchHist = reg.Histogram("batcherd_batch_size",
+			"operations per executed batch",
+			[]obs.Label{{Name: "shard", Value: label}})
+		sh.Runtime().SetBatchSizeHistogram(sm.batchHist)
+		sh.Runtime().SetPhaseStamps(true)
+		for j, name := range obs.PhaseNames {
+			sm.phaseHist[j] = reg.Histogram("batcherd_op_phase_ns",
+				"per-operation lifecycle phase duration",
+				[]obs.Label{{Name: "phase", Value: name}, {Name: "shard", Value: label}})
+		}
+		sm.delayHist = reg.Histogram("batcherd_batch_delay_ns",
+			"per-operation batch delay: pending-array arrival to batch landing (Theorem 5.4's per-op wait)",
+			[]obs.Label{{Name: "shard", Value: label}})
+		reg.GaugeFunc("batcherd_queue_depth",
+			"pump ingress queue depth",
+			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+				return float64(sh.Pump().Depth())
+			})
 	}
-	s.delayHist = reg.Histogram("batcherd_batch_delay_ns",
-		"per-operation batch delay: pending-array arrival to batch landing (Theorem 5.4's per-op wait)",
-		nil)
 	if s.cfg.SlowK >= 0 {
 		s.flight = obs.NewFlightRecorder(s.cfg.SlowK, s.cfg.SlowWindow)
 	}
 
 	if s.cfg.TraceRing > 0 {
-		s.tracer = s.rt.NewTracer(s.cfg.TraceRing)
-		s.rt.SetTracer(s.tracer)
+		// One ring set, attached to shard 0's runtime: event traces
+		// interleave a single scheduler's workers; merging shards into
+		// one timeline would be misleading rather than informative.
+		rt := s.Runtime()
+		s.tracer = rt.NewTracer(s.cfg.TraceRing)
+		rt.SetTracer(s.tracer)
 	}
 }
 
@@ -122,8 +143,8 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // MetricsHandler returns the /metrics handler (Prometheus text format).
 func (s *Server) MetricsHandler() http.Handler { return s.reg.Handler() }
 
-// Tracer returns the scheduler event tracer, or nil unless
-// Config.TraceRing enabled tracing.
+// Tracer returns the scheduler event tracer (shard 0's runtime), or
+// nil unless Config.TraceRing enabled tracing.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // SlowOps returns the tail flight recorder's current contents (the K

@@ -119,8 +119,8 @@ func TestMetricsScrape(t *testing.T) {
 		t.Fatalf("workers gauge = %v", samples["batcherd_workers"])
 	}
 
-	count := samples["batcherd_batch_size_count"]
-	sum := samples["batcherd_batch_size_sum"]
+	count := samples[`batcherd_batch_size_count{shard="0"}`]
+	sum := samples[`batcherd_batch_size_sum{shard="0"}`]
 	batches, ops := s.Runtime().LiveBatchStats()
 	if count != float64(batches) || sum != float64(ops) {
 		t.Fatalf("batch histogram %v/%v disagrees with LiveBatchStats %d/%d",
@@ -155,7 +155,7 @@ func TestChaosTraceExport(t *testing.T) {
 		Workers:   4,
 		Seed:      78,
 		TraceRing: 1 << 12,
-		WrapDS: func(ds uint8, b sched.Batched) sched.Batched {
+		WrapDS: func(_ int, ds uint8, b sched.Batched) sched.Batched {
 			if ds == server.DSSkiplist {
 				return &faultinject.Panicker{Inner: b, Poison: poison}
 			}

@@ -100,16 +100,16 @@ func TestPhaseMetrics(t *testing.T) {
 	if ops < conns*per {
 		t.Fatalf("LiveBatchStats ops = %d, want >= %d", ops, conns*per)
 	}
-	if got := samples["batcherd_batch_delay_ns_count"]; got != float64(ops) {
+	if got := samples[`batcherd_batch_delay_ns_count{shard="0"}`]; got != float64(ops) {
 		t.Fatalf("batch_delay count = %v, LiveBatchStats ops = %d", got, ops)
 	}
 	var phaseSum float64
 	for _, name := range obs.PhaseNames {
-		count := samples[`batcherd_op_phase_ns_count{phase="`+name+`"}`]
+		count := samples[`batcherd_op_phase_ns_count{phase="`+name+`",shard="0"}`]
 		if count != float64(ops) {
 			t.Fatalf("phase %q count = %v, want %d", name, count, ops)
 		}
-		phaseSum += samples[`batcherd_op_phase_ns_sum{phase="`+name+`"}`]
+		phaseSum += samples[`batcherd_op_phase_ns_sum{phase="`+name+`",shard="0"}`]
 	}
 
 	// Telescope invariant: the five phase durations of an op sum to its
@@ -128,7 +128,7 @@ func TestPhaseMetrics(t *testing.T) {
 	}
 
 	// The exec phase is the BOP itself: it must have recorded real time.
-	if samples[`batcherd_op_phase_ns_sum{phase="exec"}`] <= 0 {
+	if samples[`batcherd_op_phase_ns_sum{phase="exec",shard="0"}`] <= 0 {
 		t.Fatal("exec phase sum not positive")
 	}
 }

@@ -173,6 +173,20 @@ type edgeScratch struct {
 	subs    []*request // pump-bound ops of the current ingest
 	imms    []*request // immediate responses of the current ingest
 	recs    []*sched.OpRecord
+	// Per-shard submission scratch (submitSpans): groups buckets the
+	// current batch by target shard, touched lists the buckets in use,
+	// sat collects the saturated leftovers across shards.
+	groups  [][]*request
+	touched []int
+	sat     []*request
+}
+
+// initShards pre-sizes the per-shard buckets (grown defensively by
+// submitSpans too, for scratches built off the Start path).
+func (sc *edgeScratch) initShards(n int) {
+	if len(sc.groups) < n {
+		sc.groups = make([][]*request, n)
+	}
 }
 
 // wloop is one writer loop. complete() and the reader loops enqueue
@@ -332,6 +346,7 @@ func (s *Server) classify(c *conn, q Request, sc *edgeScratch) {
 	rq.phased = false
 	rq.payload = nil
 	rq.dsIdx = 0
+	rq.shard = 0
 	rq.op.Kind = 0
 	rq.op.Key = q.Key
 	rq.op.Val = q.Val
@@ -350,7 +365,7 @@ func (s *Server) classify(c *conn, q Request, sc *edgeScratch) {
 		sc.imms = append(sc.imms, rq)
 		return
 	}
-	ds, kind, ok := s.target(q.DS, q.Op)
+	kind, ok := opKind(q.DS, q.Op)
 	if !ok {
 		s.rejected.Add(1)
 		s.immediate.Add(1)
@@ -358,43 +373,93 @@ func (s *Server) classify(c *conn, q Request, sc *edgeScratch) {
 		sc.imms = append(sc.imms, rq)
 		return
 	}
-	rq.op.DS = ds
+	// Route: the shard decides which runtime batches the op and which
+	// structure instance serves it (shard.Of for keyed structures, the
+	// home shard for the keyless counter).
+	sh := s.shardFor(q.DS, q.Key)
+	rq.shard = int32(sh)
+	rq.op.DS = s.router.Shard(sh).DS(int(q.DS))
 	rq.op.Kind = kind
 	rq.dsIdx = int8(q.DS)
 	rq.start = time.Now()
 	sc.subs = append(sc.subs, rq)
 }
 
-// submitBatch pushes this ingest's pump-bound operations into the pump
-// in bulk. A saturated pump parks the unadmitted suffix in c.pending
-// (the conn is already read-paused by ingest or is paused here) to be
-// retried by completions and the sweep; a closed pump rejects it.
-func (s *Server) submitBatch(c *conn, sc *edgeScratch) {
+// submitSpans groups reqs by target shard and bulk-submits each shard's
+// span with one SubmitAll — PR-7's one-lock-per-span bulk admission,
+// now per shard. Requests refused by a closed pump are rejected with
+// FlagErr inline; requests a saturated shard refused are returned for
+// the caller to park (decode order within each shard is preserved; the
+// returned slice is scratch-backed and must be copied out before the
+// next ingest on this scratch).
+func (s *Server) submitSpans(c *conn, reqs []*request, sc *edgeScratch) []*request {
+	if s.router.N() == 1 {
+		// Fast path: no grouping pass between the wire and the pump.
+		return s.submitSpan(c, 0, reqs, sc)
+	}
+	sc.initShards(s.router.N())
+	touched := sc.touched[:0]
+	for _, rq := range reqs {
+		g := int(rq.shard)
+		if len(sc.groups[g]) == 0 {
+			touched = append(touched, g)
+		}
+		sc.groups[g] = append(sc.groups[g], rq)
+	}
+	sc.sat = sc.sat[:0]
+	for _, g := range touched {
+		span := sc.groups[g]
+		sc.sat = append(sc.sat, s.submitSpan(c, g, span, sc)...)
+		for i := range span {
+			span[i] = nil
+		}
+		sc.groups[g] = span[:0]
+	}
+	sc.touched = touched[:0]
+	return sc.sat
+}
+
+// submitSpan submits one shard's span in bulk and returns the
+// saturated suffix (nil when fully admitted or rejected-on-closed).
+func (s *Server) submitSpan(c *conn, shardID int, span []*request, sc *edgeScratch) []*request {
 	sc.recs = sc.recs[:0]
-	for _, rq := range sc.subs {
+	for _, rq := range span {
 		sc.recs = append(sc.recs, &rq.op)
 	}
-	n, err := s.pump.SubmitAll(sc.recs)
+	n, err := s.router.Shard(shardID).SubmitAll(sc.recs)
 	if n > 0 {
 		s.accepted.Add(int64(n))
 	}
-	if n == len(sc.subs) {
-		return
+	rest := span[n:]
+	if len(rest) == 0 {
+		return nil
 	}
-	rest := sc.subs[n:]
 	if err == sched.ErrPumpClosed {
 		s.rejectAll(c, rest)
+		return nil
+	}
+	return rest
+}
+
+// submitBatch pushes this ingest's pump-bound operations into their
+// target shards in bulk. A saturated shard parks its unadmitted suffix
+// in c.pending (the conn is already read-paused by ingest or is paused
+// here) to be retried by completions and the sweep; a closed pump
+// rejects it.
+func (s *Server) submitBatch(c *conn, sc *edgeScratch) {
+	sat := s.submitSpans(c, sc.subs, sc)
+	if len(sat) == 0 {
 		return
 	}
 	c.mu.Lock()
 	if c.state.Load() != connOpen {
 		// Evicted while we were submitting: the admitted prefix drains
-		// through the pump; the rest retires without responses.
+		// through the pumps; the rest retires without responses.
 		c.mu.Unlock()
-		s.retireAbandoned(c, rest)
+		s.retireAbandoned(c, sat)
 		return
 	}
-	c.pending = append(c.pending, rest...)
+	c.pending = append(c.pending, sat...)
 	c.paused = true
 	c.setReadInterestLocked(false)
 	c.mu.Unlock()
@@ -453,15 +518,10 @@ func (l *rloop) resumeConn(c *conn, sc *edgeScratch) {
 		c.pending = nil
 		c.mu.Unlock()
 
-		sc.recs = sc.recs[:0]
-		for _, rq := range batch {
-			sc.recs = append(sc.recs, &rq.op)
-		}
-		n, err := s.pump.SubmitAll(sc.recs)
-		if n > 0 {
-			s.accepted.Add(int64(n))
-		}
-		rest := batch[n:]
+		// Per-shard retry: the batch may mix shards (closed-pump
+		// leftovers are rejected inside; only still-saturated ops come
+		// back).
+		rest := s.submitSpans(c, batch, sc)
 		c.mu.Lock()
 		if c.state.Load() != connOpen {
 			c.mu.Unlock()
@@ -472,15 +532,9 @@ func (l *rloop) resumeConn(c *conn, sc *edgeScratch) {
 			c.pending = batch[:0]
 			continue
 		}
-		if err == sched.ErrPumpClosed {
-			c.pending = batch[:0]
-			c.mu.Unlock()
-			s.rejectAll(c, rest)
-			c.mu.Lock()
-			continue
-		}
-		// Still saturated: slide the remainder left (copy handles the
-		// overlap) and stay parked.
+		// Still saturated: keep the remainder (copy back into the
+		// checked-out array — rest may be scratch-backed) and stay
+		// parked.
 		c.pending = append(batch[:0], rest...)
 		c.mu.Unlock()
 		s.satAdd(c)

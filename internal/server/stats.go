@@ -6,20 +6,25 @@ import (
 )
 
 // Stats is the server's live metrics document, served as the payload of
-// a DSStats request. Batching figures come from the runtime's live
+// a DSStats request. Batching figures come from the runtimes' live
 // counters (sched.Runtime.LiveBatchStats), which — unlike
-// Runtime.Metrics — are readable while the pump is serving.
+// Runtime.Metrics — are readable while the pumps are serving. The
+// top-level figures aggregate across shards; PerShard is the per-shard
+// breakdown (a DSStats read never enters any pump: the serving layer
+// fans out across every shard's live counters and merges here).
 type Stats struct {
-	// Workers is P.
+	// Workers is P, the scheduler worker count per shard; Shards is the
+	// number of independent runtime shards (total workers = Shards×P).
 	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
 	// UptimeSec is seconds since Start.
 	UptimeSec float64 `json:"uptime_sec"`
 	// Conns is the current connection count.
 	Conns int64 `json:"conns"`
 	// Accepted, Rejected, and Completed count operations admitted into
-	// the pump, refused (bad op, saturation cap, shutdown), and
+	// a shard pump, refused (bad op, saturation cap, shutdown), and
 	// responded to. Immediate counts the subset of Completed that never
-	// entered the pump (stats reads and rejections), so the books
+	// entered a pump (stats reads and rejections), so the books
 	// balance as completed == accepted + immediate once the server is
 	// quiescent. Failed counts accepted operations whose batch group
 	// panicked — they completed, with FlagErr.
@@ -45,29 +50,58 @@ type Stats struct {
 	// ReactorLoops is the reactor pool size (reader/writer loop pairs).
 	ReactorLoops int `json:"reactor_loops"`
 	// BatchPanics counts batch groups whose BOP panicked and was
-	// contained (each may have failed several operations).
+	// contained, summed across shards (each may have failed several
+	// operations).
 	BatchPanics int64 `json:"batch_panics"`
 	// OpsPerSec is batched throughput — Completed minus Immediate,
 	// averaged over the uptime — so stats polling and rejected garbage
 	// do not inflate the figure of merit.
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// Batches and BatchedOps count executed batches and the operations
-	// they carried; MeanBatch is their ratio — the achieved batch size,
-	// the figure of merit for edge batching.
+	// they carried, summed across shards; MeanBatch is their ratio —
+	// the achieved batch size, the figure of merit for edge batching.
 	Batches    int64   `json:"batches"`
 	BatchedOps int64   `json:"batched_ops"`
 	MeanBatch  float64 `json:"mean_batch"`
-	// QueueDepth is the pump ingress queue's current depth.
+	// QueueDepth is the summed shard-pump ingress depth.
 	QueueDepth int `json:"queue_depth"`
+	// PerShard is the per-shard breakdown. With skewed keys the shards
+	// visibly diverge here — unequal accepted counts, batch sizes, and
+	// queue depths — which is the router doing its job, not a bug.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is one shard's slice of the stats document. Its books
+// balance independently: accepted == completed after a drain, with
+// failed the contained-panic subset — one auditable ledger per shard.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Accepted/Completed/Failed are the shard's admission ledger
+	// (shard.Shard.Books).
+	Accepted  int64 `json:"accepted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Batches/BatchedOps/MeanBatch describe the shard runtime's
+	// executed batches; OpsPerSec is its completed throughput over the
+	// server's uptime.
+	Batches    int64   `json:"batches"`
+	BatchedOps int64   `json:"batched_ops"`
+	MeanBatch  float64 `json:"mean_batch"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// QueueDepth is the shard pump's current ingress depth;
+	// BatchPanics its contained-panic count.
+	QueueDepth  int   `json:"queue_depth"`
+	BatchPanics int64 `json:"batch_panics"`
 }
 
 // Snapshot assembles the current Stats. Safe at any time, including
 // while serving.
 func (s *Server) Snapshot() Stats {
 	up := time.Since(s.start).Seconds()
-	batches, ops := s.rt.LiveBatchStats()
+	batches, ops := s.router.LiveBatchStats()
 	st := Stats{
-		Workers:       s.rt.Workers(),
+		Workers:       s.Runtime().Workers(),
+		Shards:        s.router.N(),
 		UptimeSec:     up,
 		Conns:         s.curConns.Load(),
 		Accepted:      s.accepted.Load(),
@@ -80,16 +114,39 @@ func (s *Server) Snapshot() Stats {
 		ReadSyscalls:  s.readSys.Load(),
 		WriteSyscalls: s.writeSys.Load(),
 		ReactorLoops:  len(s.rloops),
-		BatchPanics:   s.rt.BatchPanics(),
+		BatchPanics:   s.router.BatchPanics(),
 		Batches:       batches,
 		BatchedOps:    ops,
-		QueueDepth:    s.pump.Depth(),
+		QueueDepth:    s.router.Depth(),
+		PerShard:      make([]ShardStats, s.router.N()),
 	}
 	if up > 0 {
 		st.OpsPerSec = float64(st.Completed-st.Immediate) / up
 	}
 	if batches > 0 {
 		st.MeanBatch = float64(ops) / float64(batches)
+	}
+	for i := range st.PerShard {
+		sh := s.router.Shard(i)
+		acc, comp, failed := sh.Books()
+		b, o := sh.Runtime().LiveBatchStats()
+		ss := ShardStats{
+			Shard:       i,
+			Accepted:    acc,
+			Completed:   comp,
+			Failed:      failed,
+			Batches:     b,
+			BatchedOps:  o,
+			QueueDepth:  sh.Pump().Depth(),
+			BatchPanics: sh.Runtime().BatchPanics(),
+		}
+		if b > 0 {
+			ss.MeanBatch = float64(o) / float64(b)
+		}
+		if up > 0 {
+			ss.OpsPerSec = float64(comp) / up
+		}
+		st.PerShard[i] = ss
 	}
 	return st
 }
