@@ -34,7 +34,7 @@ bench-json:
 # tiny iteration counts measure per-run fan-out, not serving.
 SERVER_BENCH_ARGS ?= -benchtime=2000x -count=1
 bench-server:
-	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay|ServerHighFanIn|ServerSharded' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
+	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay|ServerHighFanIn|ServerSharded|ServerPolicy' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
 		| go run ./cmd/batcherlab benchjson -append -o BENCH_server.json
 
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).
@@ -69,6 +69,8 @@ fuzz:
 
 # The failure-containment suite: contained batch panics, fault-injected
 # structures, and the wire-level chaos tests, under the race detector.
+# Set BATCHERD_POLICY=size-cap or =deadline to rerun the server-side
+# suite under an alternative batch-formation policy (CI runs all three).
 chaos:
 	go test -race -run 'TestContain|TestPumpServesThroughBatchPanic|TestChaos|TestStatsBooks' \
 		-count=1 -v ./internal/sched/ ./internal/faultinject/ ./internal/server/

@@ -23,6 +23,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"batcher/internal/ds/counter"
@@ -31,6 +32,7 @@ import (
 	"batcher/internal/ds/tree23"
 	"batcher/internal/obs"
 	"batcher/internal/sched"
+	"batcher/internal/sched/policy"
 )
 
 // auditRow is one structure's audit result.
@@ -51,8 +53,8 @@ func (r auditRow) verdictDelay() bool  { return r.delayMax <= r.bound }
 
 // auditOne runs n operations against one structure and measures its
 // batch-delay distribution from the per-op stamp vectors.
-func auditOne(name string, ds sched.Batched, kind sched.OpKind, n, workers int, seed uint64) auditRow {
-	rt := sched.New(sched.Config{Workers: workers, Seed: seed})
+func auditOne(name string, ds sched.Batched, kind sched.OpKind, n, workers int, seed uint64, pol sched.BatchPolicy) auditRow {
+	rt := sched.New(sched.Config{Workers: workers, Seed: seed, Policy: pol})
 	rt.SetPhaseStamps(true)
 
 	// One record per operation — the audit needs every op's stamps to
@@ -136,14 +138,24 @@ func auditCmd() {
 		n = 1000
 	}
 	w := *workers
+	// Every batch-formation policy owes this audit: a policy only moves
+	// launch timing, so Lemma 2 and the 2·(span+gap) envelope must
+	// survive it (lingering widens gaps, and the bound widens with
+	// them — a policy that broke the *shape* would need extra landings,
+	// which the mechanism forbids).
+	pol, err := policy.ByName(*polName, 0, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "audit: %v\n", err)
+		os.Exit(2)
+	}
 	rows := []auditRow{
-		auditOne("counter", counter.New(0), counter.OpIncrement, n, w, *seed),
-		auditOne("skiplist", skiplist.NewBatched(*seed^0x9e3779b97f4a7c15), skiplist.OpInsert, n, w, *seed),
-		auditOne("tree23", tree23.NewBatched(), tree23.OpInsert, n, w, *seed),
-		auditOne("hashmap", hashmap.NewBatched(*seed^0xd1342543de82ef95), hashmap.OpPut, n, w, *seed),
+		auditOne("counter", counter.New(0), counter.OpIncrement, n, w, *seed, pol),
+		auditOne("skiplist", skiplist.NewBatched(*seed^0x9e3779b97f4a7c15), skiplist.OpInsert, n, w, *seed, pol),
+		auditOne("tree23", tree23.NewBatched(), tree23.OpInsert, n, w, *seed, pol),
+		auditOne("hashmap", hashmap.NewBatched(*seed^0xd1342543de82ef95), hashmap.OpPut, n, w, *seed, pol),
 	}
 
-	fmt.Printf("%d Batchify round trips per structure, P=%d, phase stamping on\n", n, w)
+	fmt.Printf("%d Batchify round trips per structure, P=%d, policy=%s, phase stamping on\n", n, w, pol.Name())
 	fmt.Printf("delay = land−pending per op; bound = 2·(max batch span + max setup gap), from Lemma 2\n\n")
 	fmt.Printf("%-9s %6s %7s %6s  %12s %12s %12s  %12s %7s %7s\n",
 		"ds", "ops", "batches", "mean", "delay_p50", "delay_p99", "delay_max", "bound", "ratio", "waited")

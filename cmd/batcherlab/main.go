@@ -46,7 +46,9 @@ var (
 	quick   = flag.Bool("quick", false, "run with smaller, CI-sized parameters")
 	seed    = flag.Uint64("seed", 20140623, "simulator seed")
 	workers = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for real-runtime experiments")
-	chrome  = flag.String("chrome", "",
+	polName = flag.String("policy", "default",
+		"batch-formation policy for the audit's real runtimes: default|size-cap|deadline")
+	chrome = flag.String("chrome", "",
 		"trace subcommand: run a real traced workload and write Chrome trace_event JSON to this file")
 )
 

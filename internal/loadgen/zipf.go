@@ -35,13 +35,7 @@ func newZipfGen(keySpace int64, s float64) *zipfGen {
 	g := &zipfGen{
 		cdf:      make([]float64, n),
 		keySpace: keySpace,
-		// A large odd stride is coprime with any power-of-two keyspace
-		// (and shares no small factors with round decimal ones), so the
-		// rank->key map stays injective while dispersing hot ranks.
-		stride: 0x9e3779b9,
-	}
-	if g.stride >= keySpace {
-		g.stride = 1
+		stride:   zipfStride(keySpace),
 	}
 	total := 0.0
 	for i := int64(0); i < n; i++ {
@@ -52,6 +46,43 @@ func newZipfGen(keySpace int64, s float64) *zipfGen {
 		g.cdf[i] /= total
 	}
 	return g
+}
+
+// zipfStride derives the rank->key dispersal stride from the keyspace:
+// the largest odd value at or below keySpace·φ⁻¹ (the golden-ratio
+// fraction, the classic low-discrepancy multiplier) that is coprime
+// with keySpace. Coprimality makes rank i -> (i·stride) mod keySpace
+// injective over the whole keyspace, and the golden-ratio magnitude
+// spreads consecutive hot ranks maximally far apart.
+//
+// A fixed stride had two failure modes this replaces: any constant
+// large enough to disperse a big keyspace is >= a small one — the old
+// 0x9e3779b9 exceeded every realistic keyspace, silently falling back
+// to stride 1 so the hot ranks clustered contiguously at keys 0..n —
+// and where a fixed constant does apply, it can share a factor with the
+// keyspace (0x9e3779b9 is divisible by 3), aliasing distinct hot ranks
+// onto one key and inflating the realized skew.
+func zipfStride(keySpace int64) int64 {
+	s := int64(float64(keySpace) * 0.6180339887498949)
+	if s%2 == 0 {
+		s--
+	}
+	// Walk down odd candidates until one is coprime with the keyspace.
+	// Consecutive odd numbers share no factor with each other, so the
+	// walk is short (a handful of steps at worst for composite spaces).
+	for ; s > 1; s -= 2 {
+		if gcd(s, keySpace) == 1 {
+			return s
+		}
+	}
+	return 1
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // sample draws one key. Safe for concurrent use with distinct RNGs.

@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"testing"
+
+	"batcher/internal/rng"
+)
+
+// TestZipfStrideCoprime checks the stride derivation directly: for any
+// keyspace the stride must be coprime with it (injectivity's arithmetic
+// condition) and — for keyspaces big enough to have room — genuinely
+// disperse, i.e. not degrade to 1 the way the old fixed-constant
+// fallback did for every realistic keyspace.
+func TestZipfStrideCoprime(t *testing.T) {
+	spaces := []int64{
+		1, 2, 3, 7, 99, 12345,
+		1 << 14, 1 << 16, 1 << 20, // power-of-two (bench/test defaults)
+		100000, 999999, // round decimal and 3×-divisible
+		3 * 5 * 7 * 9 * 11, // composite with many small factors
+	}
+	for _, ks := range spaces {
+		s := zipfStride(ks)
+		if s < 1 || s >= ks && ks > 1 {
+			t.Errorf("keySpace=%d: stride %d out of range", ks, s)
+		}
+		if g := gcd(s, ks); g != 1 {
+			t.Errorf("keySpace=%d: stride %d shares factor %d", ks, s, g)
+		}
+		if ks >= 1<<10 && s == 1 {
+			t.Errorf("keySpace=%d: stride degraded to 1", ks)
+		}
+	}
+}
+
+// TestZipfRankMapInjective maps every tabulated rank through the
+// generator's rank->key function and checks no two ranks alias. The
+// keyspaces include a multiple of 3, the exact aliasing case of the old
+// 0x9e3779b9 stride (divisible by 3).
+func TestZipfRankMapInjective(t *testing.T) {
+	for _, ks := range []int64{1 << 16, 99 * 3, 100002, 12345} {
+		g := newZipfGen(ks, 1.1)
+		n := ks
+		if n > int64(len(g.cdf)) {
+			n = int64(len(g.cdf))
+		}
+		seen := make(map[int64]int64, n)
+		for rank := int64(0); rank < n; rank++ {
+			key := (rank * g.stride) % g.keySpace
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("keySpace=%d stride=%d: ranks %d and %d alias to key %d",
+					ks, g.stride, prev, rank, key)
+			}
+			seen[key] = rank
+		}
+	}
+}
+
+// TestZipfHotRanksDispersed asserts the documented dispersal: the top
+// zipf ranks — the keys that carry most of the mass — must land far
+// apart in the keyspace, not cluster contiguously at 0..n (the old
+// stride-1 fallback behavior, which aliased skew onto one shard and
+// one region of every ordered structure).
+func TestZipfHotRanksDispersed(t *testing.T) {
+	const ks = 1 << 16
+	g := newZipfGen(ks, 1.1)
+	const hot = 16
+	keys := make([]int64, hot)
+	for rank := int64(0); rank < hot; rank++ {
+		keys[rank] = (rank * g.stride) % ks
+	}
+	// Minimum pairwise circular distance between hot keys. A random
+	// spread would average ks/hot²; demand a much weaker ks/256 so the
+	// test has no flake margin while still rejecting clustering.
+	minGap := int64(ks)
+	for i := 0; i < hot; i++ {
+		for j := i + 1; j < hot; j++ {
+			d := keys[i] - keys[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > ks/2 {
+				d = ks - d
+			}
+			if d < minGap {
+				minGap = d
+			}
+		}
+	}
+	if minGap < ks/256 {
+		t.Fatalf("hot ranks cluster: min pairwise gap %d < %d (keys %v)", minGap, ks/256, keys)
+	}
+}
+
+// TestZipfSampleInKeySpace keeps the sampler's output contract: every
+// drawn key lies in [0, keySpace), including keyspaces larger than the
+// tabulated rank cap.
+func TestZipfSampleInKeySpace(t *testing.T) {
+	for _, ks := range []int64{7, 1 << 14, zipfMaxRanks * 4} {
+		g := newZipfGen(ks, 1.01)
+		r := rng.New(1)
+		for i := 0; i < 4096; i++ {
+			k := g.sample(r)
+			if k < 0 || k >= ks {
+				t.Fatalf("keySpace=%d: sample %d out of range", ks, k)
+			}
+		}
+	}
+}

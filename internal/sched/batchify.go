@@ -95,12 +95,13 @@ type Batched interface {
 // done.
 func (c *Ctx) Batchify(op *OpRecord) { c.batchify(op, nil) }
 
-// linger is the bounded launch-delay state used by Pump submissions: a
-// trapped pump worker with linger budget left yields instead of
-// launching while backlog reports more queued external work, giving
-// sibling pump workers a chance to trap too so the batch coalesces
-// more operations. Core-program Batchify always passes nil (immediate
-// launch, as the paper specifies); see pump.go for why the serving
+// linger carries the submission path's launch-delay configuration into
+// batchify: budget is the path's proposed yield budget and backlog
+// reports whether more queued external work remains for sibling pump
+// workers to trap on. Core-program Batchify passes nil (no external
+// backlog; under the default policy that means the paper's immediate
+// launch). How the budget and backlog are *used* is the batch-formation
+// policy's decision — see BatchPolicy and pump.go for why the serving
 // layer wants the delay.
 type linger struct {
 	budget  int
@@ -119,13 +120,29 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 	rt := w.rt
 	op.worker = int32(w.id)
 	op.Err = nil // the scheduler owns Err until the operation completes
+	now := obs.Now()
 	if rt.stampPhases {
-		op.Phases[obs.PhasePending] = obs.Now()
+		op.Phases[obs.PhasePending] = now
 	}
 
-	// Publish the record, then the status. Both stores are sequentially
-	// consistent atomics, so a launcher that observes status==pending also
-	// observes the record.
+	// Ask the policy for this operation's linger budget: how many times
+	// a LaunchHold verdict will be honored before the scheduler forces
+	// a launch. The default policy keeps the submission path's own
+	// budget (0 for core calls — the paper's immediate launch — and
+	// PumpConfig.LingerYields for pump-fed ops).
+	pol := rt.policy
+	proposed := 0
+	if lg != nil {
+		proposed = lg.budget
+	}
+	budget := pol.LingerYields(proposed, lg != nil)
+	hadBudget := budget > 0
+
+	// Publish the slot stamp, then the record, then the status. All
+	// three stores are sequentially consistent, so a launcher (or a
+	// policy scan) that observes the record also observes its stamp,
+	// and one that observes status==pending also observes the record.
+	rt.pending[w.id].stamp.Store(now)
 	rt.pending[w.id].rec.Store(op)
 	w.status.Store(int32(StatusPending))
 	w.m.OpsSubmitted++
@@ -142,17 +159,32 @@ func (c *Ctx) batchify(op *OpRecord, lg *linger) {
 			return
 		}
 		if rt.batchFlag.Load() == 0 {
-			if lg != nil && lg.budget > 0 && lg.backlog() {
-				// Launch linger: more external work is queued, so yield
-				// (bounded) before claiming the flag — another pump
-				// worker can trap meanwhile and fatten the batch. If a
-				// sibling launches first, the next loop iteration sees
-				// our status flip instead.
-				lg.budget--
-				goruntime.Gosched()
-				continue
+			reason := LaunchImmediate
+			if budget > 0 {
+				reason = pol.ShouldLaunch(PolicyView{
+					rt:         rt,
+					lg:         lg,
+					Workers:    len(rt.workers),
+					External:   lg != nil,
+					YieldsLeft: budget,
+				})
+				if reason == LaunchHold {
+					// Launch linger: the policy wants a fatter batch, so
+					// yield (bounded) before claiming the flag — another
+					// worker can trap meanwhile. If a sibling launches
+					// first, the next loop iteration sees our status
+					// flip instead.
+					budget--
+					goruntime.Gosched()
+					continue
+				}
+			} else if hadBudget {
+				// The policy held until the budget ran out: launch
+				// anyway. This backstop keeps every policy live.
+				reason = LaunchBudget
 			}
 			if rt.batchFlag.CompareAndSwap(0, 1) {
+				rt.launchReasons[reason].Add(1)
 				// We are the launcher: inject LaunchBatch at the bottom
 				// of our batch deque and let the normal loop execute it
 				// (so that its parallel setup/cleanup is itself

@@ -1,0 +1,249 @@
+package sched
+
+// This file defines the batch-formation policy seam: the *decision*
+// half of launching a batch, extracted behind an interface so that
+// launch strategies (linger-under-backlog, size-capped, deadline-aware)
+// can compete without touching the scheduler's mechanism. The split
+// follows the BatchFormation extraction rule — decisions (when to stop
+// waiting and claim the flag, whether to admit an op) are pluggable;
+// side effects (the flag CAS, LaunchBatch's ack/compact/BOP/done/reset
+// sequence, status flips) stay in the scheduler, because the paper's
+// Invariants 1 and 2 and the Theorem 5.4 delay bound are properties of
+// the mechanism, not the policy. A policy can only choose *when* an
+// idle flag is claimed; it cannot add batch landings, oversize a batch,
+// or overlap two batches. See DESIGN.md §14.
+
+import "batcher/internal/obs"
+
+// LaunchReason is a batch policy's verdict on one flag-check iteration
+// of a trapped worker: LaunchHold keeps lingering, every other value
+// claims the batch flag and is counted (per runtime, LaunchReasons)
+// when the claim succeeds. The named reasons exist so operators can see
+// *why* batches launch — a deadline policy whose launches are all
+// LaunchFull is not trading latency for anything.
+type LaunchReason uint8
+
+const (
+	// LaunchHold means keep waiting: yield and re-check.
+	LaunchHold LaunchReason = iota
+	// LaunchImmediate is the paper's default for core-program calls:
+	// no linger budget was granted, so the first idle-flag check
+	// launches.
+	LaunchImmediate
+	// LaunchNoBacklog means the ingress queue drained: nothing is left
+	// for sibling workers to trap on, so waiting buys no coalescing.
+	LaunchNoBacklog
+	// LaunchBudget means the linger-yield budget ran out — the
+	// scheduler's liveness backstop, applied even when the policy would
+	// keep holding.
+	LaunchBudget
+	// LaunchFull means all P workers are trapped: Invariant 2 caps the
+	// batch at P operations, so it cannot grow further.
+	LaunchFull
+	// LaunchSizeCap means a size-cap policy's trapped-worker threshold
+	// was reached.
+	LaunchSizeCap
+	// LaunchDeadline means a deadline policy's oldest pending operation
+	// neared its latency budget.
+	LaunchDeadline
+
+	// NumLaunchReasons sizes per-reason counter arrays.
+	NumLaunchReasons = int(LaunchDeadline) + 1
+)
+
+// LaunchReasonNames maps LaunchReason values to stable wire/metric
+// label names.
+var LaunchReasonNames = [NumLaunchReasons]string{
+	LaunchHold:      "hold",
+	LaunchImmediate: "immediate",
+	LaunchNoBacklog: "no-backlog",
+	LaunchBudget:    "budget-exhausted",
+	LaunchFull:      "batch-full",
+	LaunchSizeCap:   "size-cap",
+	LaunchDeadline:  "deadline",
+}
+
+// String returns the reason's stable name.
+func (r LaunchReason) String() string {
+	if int(r) < len(LaunchReasonNames) {
+		return LaunchReasonNames[r]
+	}
+	return "invalid"
+}
+
+// PolicyView is the read-only window a BatchPolicy gets onto the
+// runtime at one flag-check iteration of one trapped worker. The
+// accessor methods are lazy — a policy that never calls Trapped pays
+// nothing for it — and all of them are safe to call from the trapped
+// worker's scheduler loop (they read only atomics and the pump's own
+// mutex-guarded queue depth).
+type PolicyView struct {
+	rt *Runtime
+	lg *linger
+
+	// Workers is P, the runtime's worker count (the Invariant 2 batch
+	// size cap).
+	Workers int
+	// External reports the submission path: true for pump-fed
+	// operations (network edge), false for core-program Batchify.
+	External bool
+	// YieldsLeft is the remaining linger-yield budget, including the
+	// current iteration. When it reaches zero the scheduler launches
+	// with LaunchBudget regardless of the policy — the liveness
+	// backstop that makes a buggy policy degrade into bounded delay
+	// instead of livelock.
+	YieldsLeft int
+}
+
+// Backlog reports whether the submission path has more queued external
+// work that sibling workers could trap on. Always false for
+// core-program calls.
+func (v PolicyView) Backlog() bool {
+	return v.lg != nil && v.lg.backlog()
+}
+
+// Trapped counts workers with a published pending record — the size
+// the batch would have if launched right now. O(P) scan over the
+// pending array.
+func (v PolicyView) Trapped() int {
+	n := 0
+	for i := range v.rt.pending {
+		if v.rt.pending[i].rec.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// OldestPendingNS returns the age in nanoseconds of the oldest
+// currently pending operation (time since its record was published),
+// or -1 when no record is pending. It reads the pending slots' publish
+// stamps, not the records themselves — records are recycled by their
+// owning workers, so a cross-worker read of OpRecord fields would race.
+func (v PolicyView) OldestPendingNS() int64 {
+	oldest := int64(-1)
+	for i := range v.rt.pending {
+		if v.rt.pending[i].rec.Load() == nil {
+			continue
+		}
+		// The stamp is stored before the record (both sequentially
+		// consistent), so a visible record implies a visible stamp.
+		if s := v.rt.pending[i].stamp.Load(); oldest == -1 || s < oldest {
+			oldest = s
+		}
+	}
+	if oldest == -1 {
+		return -1
+	}
+	age := obs.Now() - oldest
+	if age < 0 {
+		age = 0
+	}
+	return age
+}
+
+// BatchPolicy decides when a trapped worker stops lingering and
+// launches a batch, and whether the pump admits new work. Policies
+// must be stateless or internally synchronized: every worker of every
+// runtime sharing the policy value may call these methods
+// concurrently. Implementations must not block, allocate on the
+// ShouldLaunch path, or call back into the runtime.
+//
+// Liveness contract: ShouldLaunch returning LaunchHold only defers the
+// launch — the scheduler yields and re-checks — and the linger-yield
+// budget (LingerYields) bounds how many times a hold is honored, so no
+// policy can stall a trapped worker forever. Correctness (Invariants 1
+// and 2, the Lemma 2 two-landings bound) is unconditional: holding
+// happens only while the batch flag is clear, so a policy can delay a
+// launch but never add one, oversize one, or overlap two. New policies
+// still owe an empirical audit: `batcherlab -policy <name> audit` must
+// report every Theorem 5.4 verdict PASS (see DESIGN.md §14).
+type BatchPolicy interface {
+	// Name identifies the policy in stats, metrics, and flags.
+	Name() string
+	// ShouldLaunch is consulted by a trapped worker each time it
+	// observes the batch flag clear and still has linger budget:
+	// LaunchHold yields and re-checks; anything else claims the flag,
+	// tagged with the returned reason. It is never consulted with a
+	// zero budget — a zero-budget worker launches immediately
+	// (LaunchImmediate on the first check, LaunchBudget once a granted
+	// budget ran out).
+	ShouldLaunch(v PolicyView) LaunchReason
+	// LingerYields grants the linger budget for one trapped operation:
+	// proposed is the submission path's configured budget
+	// (PumpConfig.LingerYields for external ops, 0 for core calls) and
+	// the return value is the number of holds the scheduler will honor
+	// before forcing a LaunchBudget launch. Return proposed to keep the
+	// path's configuration; return 0 to launch immediately.
+	LingerYields(proposed int, external bool) int
+	// Admit gates pump admission: depth is the ingress-queue depth a
+	// successful Submit would reach and capacity its configured bound.
+	// Returning false rejects the operation with ErrPumpSaturated
+	// before it is enqueued. The queue-full check is unconditional;
+	// Admit can only tighten it (the seam for tenant-weighted or
+	// predicted-latency admission control).
+	Admit(depth, capacity int) bool
+}
+
+// AlternatingStealPolicy is the default batch-formation policy — the
+// source paper's behavior, named for the scheduler it accompanies:
+// core-program operations launch immediately (no linger), and pump-fed
+// operations linger under backlog for the pump's configured yield
+// budget, launching as soon as the ingress queue drains. It is
+// stateless; the zero value is ready to use.
+type AlternatingStealPolicy struct{}
+
+// Name implements BatchPolicy.
+func (AlternatingStealPolicy) Name() string { return "default" }
+
+// ShouldLaunch implements BatchPolicy: hold while external backlog
+// remains (sibling pumps can still fatten the batch), launch the
+// moment it drains.
+func (AlternatingStealPolicy) ShouldLaunch(v PolicyView) LaunchReason {
+	if !v.Backlog() {
+		return LaunchNoBacklog
+	}
+	return LaunchHold
+}
+
+// LingerYields implements BatchPolicy: keep each path's configured
+// budget (pumps linger, core calls launch immediately — the paper's
+// rule).
+func (AlternatingStealPolicy) LingerYields(proposed int, external bool) int {
+	if external {
+		return proposed
+	}
+	return 0
+}
+
+// Admit implements BatchPolicy: admission is bounded by queue capacity
+// alone.
+func (AlternatingStealPolicy) Admit(depth, capacity int) bool { return true }
+
+// SetPolicy installs (or, with nil, restores the default) batch
+// formation policy. Call only while no Run or Serve is in progress;
+// workers read the policy unsynchronized.
+func (rt *Runtime) SetPolicy(p BatchPolicy) {
+	if rt.running.Load() {
+		panic("sched: SetPolicy called during Run")
+	}
+	if p == nil {
+		p = AlternatingStealPolicy{}
+	}
+	rt.policy = p
+}
+
+// Policy returns the installed batch-formation policy (never nil).
+func (rt *Runtime) Policy() BatchPolicy { return rt.policy }
+
+// LaunchReasons returns the number of batches launched for each
+// decision reason over the runtime's lifetime. Counters are bumped
+// once per successful batch-flag claim, so the sum equals the number
+// of launches (not landings of nonempty batches — a claim that found
+// its record already consumed still counts). Readable at any time.
+func (rt *Runtime) LaunchReasons() (counts [NumLaunchReasons]int64) {
+	for i := range rt.launchReasons {
+		counts[i] = rt.launchReasons[i].Load()
+	}
+	return counts
+}

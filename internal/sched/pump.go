@@ -61,6 +61,10 @@ type PumpConfig struct {
 	// without costing latency when the queue is empty — an empty queue
 	// skips the linger entirely, preserving the paper's immediate
 	// launch. 0 means the default (4); negative disables lingering.
+	//
+	// The value is a *proposal*: the runtime's batch-formation policy
+	// (sched.BatchPolicy) receives it as LingerYields(proposed, true)
+	// and may keep, shrink, or extend it. The default policy keeps it.
 	LingerYields int
 }
 
@@ -117,7 +121,11 @@ func (p *Pump) Submit(op *OpRecord) error {
 		}
 		return ErrPumpClosed
 	}
-	if len(p.q)-p.head >= p.cfg.QueueCap {
+	// Capacity first, then the policy's admission hook: the policy can
+	// tighten admission (tenant weighting, predicted-latency shedding)
+	// but never loosen the queue bound.
+	depth := len(p.q) - p.head
+	if depth >= p.cfg.QueueCap || !p.rt.policy.Admit(depth+1, p.cfg.QueueCap) {
 		p.mu.Unlock()
 		if tr := p.rt.tracer; tr != nil {
 			tr.Record(tr.ExternalRing(), obs.EvPumpReject, 1, 0)
@@ -133,7 +141,7 @@ func (p *Pump) Submit(op *OpRecord) error {
 		op.Phases[obs.PhaseAdmit] = obs.Now()
 	}
 	p.q = append(p.q, op)
-	depth := len(p.q) - p.head
+	depth = len(p.q) - p.head
 	p.mu.Unlock()
 	if tr := p.rt.tracer; tr != nil {
 		tr.Record(tr.ExternalRing(), obs.EvPumpAdmit, int64(depth), 0)
@@ -176,6 +184,18 @@ func (p *Pump) SubmitAll(ops []*OpRecord) (n int, err error) {
 	n = len(ops)
 	if n > free {
 		n = free
+	}
+	// The policy's admission hook sees the depth each op would reach;
+	// the first refusal truncates the admitted prefix (admission stays
+	// a prefix either way, which is the SubmitAll contract). The
+	// default policy admits everything — skip the per-op calls.
+	if _, isDefault := p.rt.policy.(AlternatingStealPolicy); !isDefault {
+		for i := 0; i < n; i++ {
+			if !p.rt.policy.Admit(len(p.q)-p.head+i+1, p.cfg.QueueCap) {
+				n = i
+				break
+			}
+		}
 	}
 	for _, op := range ops[:n] {
 		if p.rt.stampPhases {

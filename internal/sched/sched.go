@@ -160,6 +160,10 @@ type Config struct {
 	// workers always steal from batch deques, per the paper. The default
 	// is AlternatingSteal, the policy the analysis requires.
 	StealPolicy StealPolicy
+	// Policy selects the batch-formation policy — when a trapped worker
+	// stops lingering and launches a batch (see BatchPolicy). Nil means
+	// AlternatingStealPolicy, the paper's behavior.
+	Policy BatchPolicy
 }
 
 // StealPolicy selects which deque a free worker targets on its k-th steal
@@ -188,7 +192,14 @@ const cacheLinePad = 128
 // worker's slot.
 type paddedPending struct {
 	rec atomic.Pointer[OpRecord]
-	_   [cacheLinePad - 8]byte
+	// stamp is the obs.Now publish time of the record in rec, stored
+	// (sequentially consistent) immediately before rec so that any
+	// reader observing the record also observes its stamp. It backs
+	// PolicyView.OldestPendingNS without touching the record itself:
+	// records are recycled by their owning workers, so reading
+	// OpRecord fields from another worker's policy scan would race.
+	stamp atomic.Int64
+	_     [cacheLinePad - 16]byte
 }
 
 // Runtime is a P-worker BATCHER scheduler instance. Create with New, then
@@ -240,6 +251,16 @@ type Runtime struct {
 	// Pump.Serve) is in progress — Runtime.Metrics is quiescent-only.
 	liveBatches atomic.Int64
 	liveOps     atomic.Int64
+
+	// policy is the batch-formation policy (never nil; default
+	// AlternatingStealPolicy). Like tracer/batchHist it is written only
+	// while quiescent (SetPolicy) and read unsynchronized by workers.
+	policy BatchPolicy
+
+	// launchReasons counts successful batch-flag claims by the policy
+	// reason that triggered them (see LaunchReason); one add per
+	// launch, readable live via LaunchReasons.
+	launchReasons [NumLaunchReasons]atomic.Int64
 
 	// liveSteals is the successful-steal twin of liveBatches: the
 	// per-worker SuccessfulSteals counters are owner-written plain ints,
@@ -316,6 +337,10 @@ func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:     cfg,
 		pending: make([]paddedPending, cfg.Workers),
+		policy:  cfg.Policy,
+	}
+	if rt.policy == nil {
+		rt.policy = AlternatingStealPolicy{}
 	}
 	rt.idle.init()
 	rt.launchFn = rt.launchBatchBody

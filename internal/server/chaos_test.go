@@ -8,6 +8,7 @@ package server_test
 // drains cleanly (which is itself the proof that no window slot leaked).
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +43,7 @@ func TestChaosPanicIsolation(t *testing.T) {
 	s, err := server.Start(server.Config{
 		Workers: 4,
 		Seed:    77,
+		Policy:  testPolicy(t),
 		WrapDS: func(_ int, ds uint8, b sched.Batched) sched.Batched {
 			if ds == server.DSSkiplist {
 				panicker = &faultinject.Panicker{Inner: b, Poison: poison}
@@ -161,7 +163,7 @@ func TestChaosPanicIsolation(t *testing.T) {
 // reads — and a full drain, completed == accepted + immediate, with
 // rejections and stats reads on the immediate side.
 func TestStatsBooksBalance(t *testing.T) {
-	s, err := server.Start(server.Config{Workers: 2, Seed: 11})
+	s, err := server.Start(server.Config{Workers: 2, Seed: 11, Policy: testPolicy(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +209,19 @@ func TestStatsBooksBalance(t *testing.T) {
 		t.Fatalf("completed=%d != accepted=%d + immediate=%d",
 			st.Completed, st.Accepted, st.Immediate)
 	}
+	// OpsPerSec shares the same single ledger: with one shard the global
+	// figure IS the shard figure, and both count only the pumped ops —
+	// the immediate responses (rejections, stats reads) stay out.
+	if len(st.PerShard) != 1 || st.PerShard[0].OpsPerSec != st.OpsPerSec {
+		t.Fatalf("per-shard ops/s %+v does not sum to global %v", st.PerShard, st.OpsPerSec)
+	}
+	if up := st.UptimeSec; up > 0 {
+		want := float64(pumped) / up
+		if math.Abs(st.OpsPerSec-want)/want > 0.2 {
+			t.Fatalf("OpsPerSec = %v, want ~%v (pumped/uptime; immediate ops must not count)",
+				st.OpsPerSec, want)
+		}
+	}
 }
 
 // TestChaosTornAndOversizedFrames aims protocol garbage at a live
@@ -218,6 +233,7 @@ func TestChaosTornAndOversizedFrames(t *testing.T) {
 	s, err := server.Start(server.Config{
 		Workers:     2,
 		Seed:        13,
+		Policy:      testPolicy(t),
 		IdleTimeout: 150 * time.Millisecond,
 	})
 	if err != nil {
@@ -277,6 +293,7 @@ func TestChaosSlowloris(t *testing.T) {
 		Workers:           2,
 		Seed:              17,
 		Window:            8,
+		Policy:            testPolicy(t),
 		WriteStallTimeout: 150 * time.Millisecond,
 		DrainTimeout:      2 * time.Second,
 	})

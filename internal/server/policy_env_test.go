@@ -1,0 +1,181 @@
+package server_test
+
+// Policy-dimension test plumbing plus the stats/metrics witnesses for
+// the batch-formation policy layer. The chaos and drain suites accept
+// the policy under test from the BATCHERD_POLICY env var — the CI
+// matrix runs them once per shipped policy, so containment, drain, and
+// books-balance guarantees are proven under every launch strategy, not
+// just the default.
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/sched"
+	"batcher/internal/sched/policy"
+	"batcher/internal/server"
+)
+
+// testPolicy resolves the BATCHERD_POLICY env var into the policy under
+// test; empty (the usual local run) means nil, the server default.
+func testPolicy(t testing.TB) sched.BatchPolicy {
+	t.Helper()
+	name := os.Getenv("BATCHERD_POLICY")
+	if name == "" {
+		return nil
+	}
+	pol, err := policy.ByName(name, 0, 0)
+	if err != nil {
+		t.Fatalf("BATCHERD_POLICY: %v", err)
+	}
+	return pol
+}
+
+// TestStatsPolicyAndLaunchReasons drives a sharded server under an
+// explicit policy and checks the policy surface of the stats document:
+// the policy name, per-reason launch counters that account for every
+// executed batch, and the OpsPerSec identity — the global figure must
+// equal the per-shard sum exactly, both computed from the same
+// pump-completed basis (the satellite bugfix: the old global figure
+// used Completed−Immediate while shards used their ledgers, so the two
+// drifted whenever stats reads were in flight).
+func TestStatsPolicyAndLaunchReasons(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  sched.BatchPolicy
+	}{
+		{"default", nil},
+		{"size-cap", policy.SizeCap{K: 2}},
+		{"deadline", policy.Deadline{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := server.Start(server.Config{
+				Workers: 2,
+				Shards:  2,
+				Seed:    91,
+				Policy:  tc.pol,
+			})
+			if err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			res, err := loadgen.Run(loadgen.Workload{
+				Addr:     s.Addr().String(),
+				Conns:    4,
+				Ops:      200,
+				Window:   8,
+				DS:       server.DSHashmap,
+				ReadFrac: 0.5,
+				KeySpace: 1 << 10,
+				Seed:     91,
+			})
+			if err != nil || res.Errors != 0 {
+				t.Fatalf("loadgen: err=%v rejected=%d", err, res.Errors)
+			}
+			// A stats read is an Immediate response: under the old
+			// accounting it skewed the global OpsPerSec basis.
+			cl, err := loadgen.Dial(s.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Stats(); err != nil {
+				t.Fatal(err)
+			}
+			cl.Close()
+			s.Shutdown()
+
+			st := s.Snapshot()
+			wantName := "default"
+			if tc.pol != nil {
+				wantName = tc.pol.Name()
+			}
+			if st.Policy != wantName {
+				t.Fatalf("Stats.Policy = %q, want %q", st.Policy, wantName)
+			}
+
+			var sum float64
+			for _, ss := range st.PerShard {
+				sum += ss.OpsPerSec
+			}
+			if math.Abs(sum-st.OpsPerSec) > 1e-9*math.Max(1, st.OpsPerSec) {
+				t.Fatalf("sum(per_shard ops_per_sec) = %v != global %v", sum, st.OpsPerSec)
+			}
+			// Same basis end to end: the per-shard ledgers sum to the
+			// pumped completions, which exclude the Immediate stats read.
+			var comp int64
+			for _, ss := range st.PerShard {
+				comp += ss.Completed
+			}
+			if comp != st.Completed-st.Immediate {
+				t.Fatalf("shard ledgers total %d, want Completed-Immediate = %d",
+					comp, st.Completed-st.Immediate)
+			}
+
+			var launches int64
+			for name, n := range st.LaunchReasons {
+				if n < 0 {
+					t.Fatalf("launch reason %q negative: %d", name, n)
+				}
+				launches += n
+			}
+			// Every executed batch was launched by a counted claim
+			// (claims can outnumber batches: a claim whose record was
+			// already consumed executes an empty batch).
+			if launches < st.Batches {
+				t.Fatalf("launch reasons total %d < %d executed batches (%v)",
+					launches, st.Batches, st.LaunchReasons)
+			}
+			if _, held := st.LaunchReasons["hold"]; held {
+				t.Fatal(`"hold" appeared as a launch reason`)
+			}
+		})
+	}
+}
+
+// TestMetricsPolicySurface scrapes /metrics and checks the policy info
+// gauge and the per-reason launch counter family are exported.
+func TestMetricsPolicySurface(t *testing.T) {
+	s, err := server.Start(server.Config{
+		Workers: 2,
+		Seed:    93,
+		Policy:  policy.SizeCap{K: 2},
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Shutdown()
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr:     s.Addr().String(),
+		Conns:    2,
+		Ops:      50,
+		Window:   4,
+		DS:       server.DSCounter,
+		KeySpace: 8,
+		Seed:     93,
+	})
+	if err != nil || res.Errors != 0 {
+		t.Fatalf("loadgen: err=%v rejected=%d", err, res.Errors)
+	}
+	srv := httptest.NewServer(s.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, `batcherd_policy_info{policy="size-cap"} 1`) {
+		t.Fatalf("policy info gauge missing:\n%s", body)
+	}
+	if !strings.Contains(body, `batcherd_batch_launch_total{reason=`) {
+		t.Fatalf("launch reason counters missing:\n%s", body)
+	}
+}

@@ -7,6 +7,7 @@ package server_test
 // independently.
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -54,6 +55,7 @@ func TestChaosShardPoisonIsolation(t *testing.T) {
 		Workers: 2,
 		Seed:    79,
 		Shards:  shards,
+		Policy:  testPolicy(t),
 		WrapDS: func(sh int, ds uint8, b sched.Batched) sched.Batched {
 			if sh == 0 && ds == server.DSSkiplist {
 				panicker = &faultinject.Panicker{Inner: b, Poison: poison}
@@ -201,6 +203,7 @@ func TestShardedShutdownDrain(t *testing.T) {
 		Shards:   shards,
 		Window:   2,
 		QueueCap: 2,
+		Policy:   testPolicy(t),
 	})
 	if err != nil {
 		t.Fatalf("Start: %v", err)
@@ -325,6 +328,15 @@ func TestShardedShutdownDrain(t *testing.T) {
 	}
 	if sumAccepted != st.Accepted {
 		t.Fatalf("per-shard accepted sums to %d, server accepted %d", sumAccepted, st.Accepted)
+	}
+	// The global OpsPerSec is defined as the sum of the per-shard rates
+	// (one pump-completed basis); allow only float summation-order slack.
+	var sumRate float64
+	for _, ss := range st.PerShard {
+		sumRate += ss.OpsPerSec
+	}
+	if math.Abs(sumRate-st.OpsPerSec) > 1e-9*math.Max(1, st.OpsPerSec) {
+		t.Fatalf("sum(per_shard ops_per_sec) = %v != global %v", sumRate, st.OpsPerSec)
 	}
 	if active < 2 {
 		t.Fatalf("only %d of %d shards saw traffic; hashmap keys did not spread", active, shards)

@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"time"
+
+	"batcher/internal/sched"
 )
 
 // Stats is the server's live metrics document, served as the payload of
@@ -53,10 +55,20 @@ type Stats struct {
 	// contained, summed across shards (each may have failed several
 	// operations).
 	BatchPanics int64 `json:"batch_panics"`
-	// OpsPerSec is batched throughput — Completed minus Immediate,
-	// averaged over the uptime — so stats polling and rejected garbage
-	// do not inflate the figure of merit.
+	// OpsPerSec is batched throughput: operations completed through the
+	// shard pumps (the shard ledgers' completed counts — excluding
+	// Immediate responses like stats polling and rejections), averaged
+	// over the uptime. It is computed as the sum of the per-shard
+	// figures, so sum(PerShard[i].OpsPerSec) == OpsPerSec identically.
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// Policy is the batch-formation policy name every shard runtime
+	// runs (server.Config.Policy; "default" is the paper's behavior).
+	Policy string `json:"policy"`
+	// LaunchReasons counts launched batches by the policy decision that
+	// triggered each launch, summed across shards. Keys are
+	// sched.LaunchReasonNames values ("no-backlog", "batch-full",
+	// "deadline", ...); "hold" never appears (holds defer, not launch).
+	LaunchReasons map[string]int64 `json:"launch_reasons"`
 	// Batches and BatchedOps count executed batches and the operations
 	// they carried, summed across shards; MeanBatch is their ratio —
 	// the achieved batch size, the figure of merit for edge batching.
@@ -82,8 +94,9 @@ type ShardStats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	// Batches/BatchedOps/MeanBatch describe the shard runtime's
-	// executed batches; OpsPerSec is its completed throughput over the
-	// server's uptime.
+	// executed batches; OpsPerSec is its pump-completed throughput over
+	// the server's uptime — the same basis as the global figure, which
+	// is exactly the sum of these.
 	Batches    int64   `json:"batches"`
 	BatchedOps int64   `json:"batched_ops"`
 	MeanBatch  float64 `json:"mean_batch"`
@@ -120,9 +133,6 @@ func (s *Server) Snapshot() Stats {
 		QueueDepth:    s.router.Depth(),
 		PerShard:      make([]ShardStats, s.router.N()),
 	}
-	if up > 0 {
-		st.OpsPerSec = float64(st.Completed-st.Immediate) / up
-	}
 	if batches > 0 {
 		st.MeanBatch = float64(ops) / float64(batches)
 	}
@@ -146,7 +156,19 @@ func (s *Server) Snapshot() Stats {
 		if up > 0 {
 			ss.OpsPerSec = float64(comp) / up
 		}
+		// The global rate is the sum of the shard rates — one basis
+		// (pump-completed ops over uptime), no immediate-op skew.
+		st.OpsPerSec += ss.OpsPerSec
 		st.PerShard[i] = ss
+	}
+	st.Policy = s.router.Shard(0).Runtime().Policy().Name()
+	reasons := s.router.LaunchReasons()
+	st.LaunchReasons = make(map[string]int64, len(reasons)-1)
+	for r, n := range reasons {
+		if sched.LaunchReason(r) == sched.LaunchHold {
+			continue
+		}
+		st.LaunchReasons[sched.LaunchReasonNames[r]] = n
 	}
 	return st
 }
