@@ -9,11 +9,18 @@
 //
 //	batcherd serve [-addr :7411] [-shards N] [-workers N] [-window 32] [-queue N]
 //	               [-idle-timeout D] [-write-stall D] [-saturation-timeout D]
+//	               [-slo D] [-admit-interval D]
 //	               [-metrics host:9100] [-trace-ring N] [-slow-k K] [-slow-window D]
 //	    Run the server until SIGINT/SIGTERM, then drain gracefully.
 //	    -shards runs N independent scheduler runtimes behind the one
 //	    listener, routing each op by hash(ds, key) (internal/shard);
 //	    the stats document and /metrics then report per shard.
+//	    -slo enables analytical-twin admission control (DESIGN.md §15):
+//	    each shard fits a live service-curve model from its own batch
+//	    histograms and, when the model predicts p999 latency above the
+//	    SLO at the offered rate, sheds the excess at the edge with a
+//	    fast error instead of letting it park. -admit-interval sets the
+//	    sampler period (default 10ms).
 //	    -metrics serves an HTTP listener with /metrics (Prometheus text
 //	    format, including the per-phase and batch-delay histograms),
 //	    /slow (the tail flight recorder: the K slowest ops per window
@@ -96,6 +103,8 @@ func serveCmd(args []string) {
 	idle := fs.Duration("idle-timeout", 0, "reap connections idle this long (0 = 2m default, <0 disables)")
 	stall := fs.Duration("write-stall", 0, "break connections whose reads stall a response write this long (0 = 30s default, <0 disables)")
 	saturation := fs.Duration("saturation-timeout", 0, "reject requests parked this long on a saturated queue (0 = 30s default, <0 disables)")
+	slo := fs.Duration("slo", 0, "p999 latency SLO enabling analytical-twin admission control (0 disables; excess load sheds fast at the edge)")
+	admitInterval := fs.Duration("admit-interval", 0, "admission sampler refit period (0 = 10ms default; only with -slo)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /slow, and /debug/pprof on this address; empty disables")
 	traceRing := fs.Int("trace-ring", 0, "scheduler event-ring slots per worker (0 disables tracing; enables /trace with -metrics)")
 	slowK := fs.Int("slow-k", 0, "tail flight recorder: keep the K slowest ops per window (0 = 16 default, <0 disables)")
@@ -121,6 +130,8 @@ func serveCmd(args []string) {
 		IdleTimeout:       *idle,
 		WriteStallTimeout: *stall,
 		SaturationTimeout: *saturation,
+		SLO:               *slo,
+		AdmitInterval:     *admitInterval,
 		Policy:            pol,
 		TraceRing:         *traceRing,
 		SlowK:             *slowK,
@@ -163,8 +174,8 @@ func serveCmd(args []string) {
 	fmt.Println("batcherd: draining...")
 	s.Shutdown()
 	st := s.Snapshot()
-	fmt.Printf("batcherd: served %d ops in %d batches (mean %.2f), %d rejected\n",
-		st.BatchedOps, st.Batches, st.MeanBatch, st.Rejected)
+	fmt.Printf("batcherd: served %d ops in %d batches (mean %.2f), %d rejected, %d shed\n",
+		st.BatchedOps, st.Batches, st.MeanBatch, st.Rejected, st.Shed)
 }
 
 // registerRuntimeTrace installs /debug/rtrace/start and /stop: start

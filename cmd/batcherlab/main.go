@@ -23,6 +23,12 @@
 //	batcherlab slow [-addr http://127.0.0.1:9100]
 //	                    # fetch a running batcherd's tail flight recorder
 //	                    # (/slow) and print the K slowest recent ops
+//	batcherlab twin [-validate] [-tol 0.25] [-record f.json] [-replay f.json]
+//	                [-quick] [-workers N]
+//	                    # calibrate the analytical twin (DESIGN.md §15)
+//	                    # against a live load sweep — or -replay a
+//	                    # recorded one — and report predicted-vs-measured
+//	                    # p999 per point; -validate gates on the error
 //
 // Flags:
 //
@@ -73,6 +79,14 @@ func main() {
 		// Operational: fetch a running batcherd's tail flight recorder
 		// (slow.go). Takes its own -addr flag, excluded from "all".
 		slowCmd(flag.Args()[1:])
+		return
+	}
+	if cmd == "twin" {
+		// Calibration, not an experiment: fit the analytical twin from a
+		// live or recorded load sweep and gate its p999 predictions
+		// (twin.go). Excluded from "all" — the live sweep takes seconds
+		// of wall clock by design.
+		twinCmd(flag.Args()[1:])
 		return
 	}
 	ran := false

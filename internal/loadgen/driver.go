@@ -97,16 +97,23 @@ type Result struct {
 	Elapsed time.Duration
 	// OpsPerSec is Responses / Elapsed.
 	OpsPerSec float64
-	// Latency percentiles over per-request round-trip times, estimated
-	// from a log-bucketed histogram (relative error at most 1/32, i.e.
-	// ~3.1%, always rounding up). Max is exact. The histogram keeps
-	// per-sample cost constant and allocation-free regardless of run
-	// length — a million-op open-loop run no longer buffers and sorts a
-	// million durations.
+	// Latency percentiles over per-request round-trip times of OK
+	// responses, estimated from a log-bucketed histogram (relative
+	// error at most 1/32, i.e. ~3.1%, always rounding up). Max is
+	// exact. Error responses keep their own histogram (ErrLatency):
+	// under admission control an error is a fast shed, and mixing
+	// those short round trips into the percentiles would flatter the
+	// served tail. The histogram keeps per-sample cost constant and
+	// allocation-free regardless of run length — a million-op
+	// open-loop run no longer buffers and sorts a million durations.
 	P50, P95, P99, P999, Max time.Duration
-	// Latency is the merged histogram itself, for callers that want more
-	// than the canned percentiles (nil until at least one run merged).
-	Latency *obs.Histogram
+	// Latency is the merged OK histogram itself, for callers that want
+	// more than the canned percentiles (nil until at least one run
+	// merged); ErrLatency is its FlagErr counterpart (nil when the run
+	// saw no error response) — the brownout witness asserts sheds
+	// answer fast on exactly this split.
+	Latency    *obs.Histogram
+	ErrLatency *obs.Histogram
 	// BatchDelay and Phase aggregate the server-echoed stamp vectors
 	// when Workload.Phases was set (nil otherwise): BatchDelay is the
 	// paper's per-op batch-delay term (pending-array arrival to batch
@@ -153,15 +160,16 @@ func (r Result) PhaseBreakdown() string {
 // agg merges per-connection results into one Result. Its report method
 // is safe for concurrent use by connection goroutines.
 type agg struct {
-	mu     sync.Mutex
-	res    Result
-	hist   *obs.Histogram
-	first  error
-	phases bool
+	mu      sync.Mutex
+	res     Result
+	hist    *obs.Histogram
+	errHist *obs.Histogram
+	first   error
+	phases  bool
 }
 
 func newAgg(phases bool) *agg {
-	a := &agg{hist: obs.NewHistogram(), phases: phases}
+	a := &agg{hist: obs.NewHistogram(), errHist: obs.NewHistogram(), phases: phases}
 	if phases {
 		a.res.BatchDelay = obs.NewHistogram()
 		for i := range a.res.Phase {
@@ -177,6 +185,7 @@ func (a *agg) report(cs *connStats, err error) {
 	a.res.Responses += cs.responses
 	a.res.Errors += cs.errors
 	a.hist.Merge(cs.lats)
+	a.errHist.Merge(cs.errLats)
 	if a.phases {
 		a.res.BatchDelay.Merge(cs.delay)
 		for i := range a.res.Phase {
@@ -204,6 +213,9 @@ func (a *agg) finish(elapsed time.Duration) (Result, error) {
 		res.P50, res.P95, res.P99, res.P999 = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
 		res.Max = time.Duration(a.hist.Max())
 	}
+	if a.errHist.Count() > 0 {
+		res.ErrLatency = a.errHist
+	}
 	return res, nil
 }
 
@@ -229,13 +241,14 @@ func Run(w Workload) (Result, error) {
 // connStats is one connection's contribution to the aggregate Result.
 type connStats struct {
 	sent, responses, errors int64
-	lats                    *obs.Histogram
+	lats                    *obs.Histogram // OK round trips
+	errLats                 *obs.Histogram // FlagErr round trips (sheds, rejections, failures)
 	delay                   *obs.Histogram
 	phase                   [obs.NumPhases - 1]*obs.Histogram
 }
 
 func newConnStats(phases bool) *connStats {
-	cs := &connStats{lats: obs.NewHistogram()}
+	cs := &connStats{lats: obs.NewHistogram(), errLats: obs.NewHistogram()}
 	if phases {
 		cs.delay = obs.NewHistogram()
 		for i := range cs.phase {
@@ -250,7 +263,11 @@ func newConnStats(phases bool) *connStats {
 // counts, it just contributes no latency sample.
 func (cs *connStats) observe(resp server.Response, t0 time.Time) {
 	if !t0.IsZero() {
-		cs.lats.Observe(int64(time.Since(t0)))
+		if resp.Err() {
+			cs.errLats.Observe(int64(time.Since(t0)))
+		} else {
+			cs.lats.Observe(int64(time.Since(t0)))
+		}
 	}
 	if resp.Flags&server.FlagPhases != 0 && cs.delay != nil {
 		cs.delay.Observe(obs.BatchDelay(resp.Phases))

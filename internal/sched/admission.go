@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionController is the live half of the analytical-twin loop
+// (DESIGN.md §15): a per-shard token bucket whose refill rate is the
+// largest arrival rate the fitted twin predicts will keep p999 at or
+// below the SLO. A sampler (the server's admission goroutine) refits
+// the twin from the shard's batch/phase histograms every tick and
+// calls Refill; the edge calls Take once per arriving operation and
+// sheds with a fast FlagErr when it returns false.
+//
+// The contract mirrors the Admit policy seam it feeds: Take and
+// AdmitDepth are called on hot paths (the reactor loop and under the
+// pump mutex respectively), so both are wait-free, allocation-free,
+// and never block — one or two atomic ops each.
+type AdmissionController struct {
+	sloNS int64
+	// limiting is false during cold start and whenever the twin
+	// predicts the current arrival rate meets the SLO — Take admits
+	// everything on one atomic load.
+	limiting atomic.Bool
+	// credits is the token bucket: ops admittable until the next
+	// refill. Only consulted while limiting.
+	credits atomic.Int64
+	// predicted is the twin's latest p999 prediction at the observed
+	// arrival rate (ns), exported to stats and /metrics.
+	predicted atomic.Int64
+	// shed counts operations refused by Take since start.
+	shed atomic.Int64
+}
+
+// NewAdmissionController returns a controller for the given SLO. It
+// starts in the admit-everything state; nothing is limited until the
+// first Refill(_, true).
+func NewAdmissionController(slo time.Duration) *AdmissionController {
+	return &AdmissionController{sloNS: slo.Nanoseconds()}
+}
+
+// SLO returns the configured target in nanoseconds.
+func (a *AdmissionController) SLO() int64 { return a.sloNS }
+
+// Take consumes one admission credit. It returns false — and counts a
+// shed — when the controller is limiting and the bucket for this
+// refill interval is empty. Wait-free: one atomic load on the
+// unlimited fast path, one fetch-add while limiting.
+func (a *AdmissionController) Take() bool {
+	if !a.limiting.Load() {
+		return true
+	}
+	if a.credits.Add(-1) >= 0 {
+		return true
+	}
+	a.shed.Add(1)
+	return false
+}
+
+// Refill installs the next interval's budget. limiting=false restores
+// the admit-everything fast path (credits are ignored); limiting=true
+// arms the bucket with the given credit count.
+func (a *AdmissionController) Refill(credits int64, limiting bool) {
+	if limiting {
+		a.credits.Store(credits)
+		a.limiting.Store(true)
+		return
+	}
+	a.limiting.Store(false)
+}
+
+// Limiting reports whether the controller is currently shedding excess
+// arrivals.
+func (a *AdmissionController) Limiting() bool { return a.limiting.Load() }
+
+// SetPredicted records the twin's latest p999 prediction (ns).
+func (a *AdmissionController) SetPredicted(ns int64) { a.predicted.Store(ns) }
+
+// Predicted returns the twin's latest p999 prediction (ns); 0 until
+// the first sampler tick.
+func (a *AdmissionController) Predicted() int64 { return a.predicted.Load() }
+
+// Shed returns the number of operations refused by Take since start.
+func (a *AdmissionController) Shed() int64 { return a.shed.Load() }
+
+// AdmitDepth is the pump-side belt to the edge's braces, wired through
+// the BatchPolicy Admit seam: while the controller is limiting, it
+// refuses submissions that would push the shard's queue past a
+// high-water mark (7/8 of capacity), so ops that slipped past the edge
+// in the same tick cannot park a deep saturation backlog behind the
+// SLO. Never limiting → always true; the seam only tightens admission
+// (DESIGN.md §14). Allocation-free and non-blocking: called under the
+// pump mutex.
+func (a *AdmissionController) AdmitDepth(depth, capacity int) bool {
+	if !a.limiting.Load() {
+		return true
+	}
+	return depth <= capacity-capacity/8
+}

@@ -1,0 +1,163 @@
+package server
+
+// The live half of analytical-twin admission control (DESIGN.md §15).
+// A single sampler goroutine ticks every Config.AdmitInterval and, per
+// shard: measures the offered arrival rate from the edge ledger,
+// refits that shard's service curve s(b) = s0 + s1·b from the deltas
+// of the histograms the serving path already maintains (batch sizes
+// from LiveBatchStats, batch service time from the exec-phase
+// histogram), asks the fitted sim.Model for the p999 it predicts at
+// the observed rate and current backlog, and — when the prediction
+// exceeds the SLO — inverts the model (MaxAdmissibleRate) into next
+// tick's credit budget for the shard's AdmissionController. The edge
+// then sheds the excess with a fast FlagErr in classify, and the
+// Shed-wrapped policy's Admit high-water mark catches anything that
+// slipped through inside the tick.
+//
+// Everything here reads counters the hot path maintains anyway; the
+// hot path never waits on the sampler.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"batcher/internal/obs"
+	"batcher/internal/sim"
+)
+
+// edgeCounters is one shard's edge ledger, complementing the shard's
+// pump books so every routed operation is accounted for exactly once:
+// offered == completed + shed + rejected + abandoned after a drain
+// (shed lives on the shard's AdmissionController).
+type edgeCounters struct {
+	offered   atomic.Int64 // valid ops routed to this shard at decode
+	rejected  atomic.Int64 // answered FlagErr without a pump (saturation cap, shutdown)
+	abandoned atomic.Int64 // retired without a response (conn died pre-pump)
+}
+
+// liveTail is the tail multiplier the live twin runs with: the fitted
+// mean-delay model times liveTail stands in for p999. Offline
+// calibration (FitModel) fits Tail from a measured sweep; live we
+// prefer a fixed conservative constant over fitting against our own
+// under-load tail, which would be circular while shedding.
+const liveTail = 2.0
+
+// capFrac caps the admitted rate at this fraction of the twin's
+// modeled capacity even when the SLO math would allow more: running
+// the M/D/1 curve at ρ→1 has unbounded variance, and a controller that
+// admits exactly capacity never drains the backlog that made it limit.
+const capFrac = 0.9
+
+// admitState is the sampler's per-shard delta memory between ticks.
+type admitState struct {
+	fitter    sim.Fitter
+	rate      float64 // EWMA of the offered arrival rate (ops/sec)
+	offered   int64
+	batches   int64
+	ops       int64
+	execCount int64
+	execSum   int64
+}
+
+// rateAlpha is the EWMA weight for the offered-rate estimate. One
+// AdmitInterval is too short a window to read a rate from — a tick
+// catches 0 or 3 ops of a perfectly steady stream and the M/D/1 curve
+// is steep near saturation, so acting on instantaneous rates sheds on
+// noise. α=0.3 settles within ~5 ticks of a real load change while
+// flattening single-tick bursts.
+const rateAlpha = 0.3
+
+// runAdmission is the sampler goroutine; one per server, started by
+// Start when Config.SLO > 0, exits when Shutdown begins.
+func (s *Server) runAdmission() {
+	tick := time.NewTicker(s.cfg.AdmitInterval)
+	defer tick.Stop()
+	states := make([]admitState, s.router.N())
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			for i := range states {
+				s.admitTick(i, &states[i])
+			}
+		}
+	}
+}
+
+// admitTick refits shard i's twin from this tick's histogram deltas
+// and installs the next credit budget.
+func (s *Server) admitTick(i int, st *admitState) {
+	ctrl := s.admission[i]
+	sh := s.router.Shard(i)
+
+	// Offered arrival rate over the last interval — measured at decode,
+	// before any shedding, so it tracks true demand even while limiting.
+	offered := s.edge[i].offered.Load()
+	dOffered := offered - st.offered
+	st.offered = offered
+	inst := float64(dOffered) / s.cfg.AdmitInterval.Seconds()
+	st.rate += rateAlpha * (inst - st.rate)
+	rate := st.rate
+
+	// Service-curve sample: mean batch size and mean exec-phase
+	// duration over the interval's completions.
+	batches, ops := sh.Runtime().LiveBatchStats()
+	exec := s.shardM[i].phaseHist[obs.PhaseLaunch]
+	execCount, execSum := exec.Count(), exec.Sum()
+	if db := batches - st.batches; db > 0 && execCount > st.execCount {
+		meanBatch := float64(ops-st.ops) / float64(db)
+		meanExec := float64(execSum-st.execSum) / float64(execCount-st.execCount)
+		st.fitter.Add(meanBatch, meanExec)
+	}
+	st.batches, st.ops = batches, ops
+	st.execCount, st.execSum = execCount, execSum
+
+	s0, s1, ok := st.fitter.Params()
+	if !ok {
+		// Cold start: no trustworthy curve yet, admit everything. The
+		// SaturationTimeout backstop still applies.
+		ctrl.SetPredicted(0)
+		ctrl.Refill(0, false)
+		return
+	}
+	model := sim.Model{
+		Workers: sh.Runtime().Workers(),
+		SetupNS: s0, PerOpNS: s1,
+		Tail: liveTail,
+	}
+	// Standing backlog: every op offered to this shard and not yet
+	// answered — the pump queue, the pending array, AND the ops parked
+	// at the edge on a full queue. Counting only the pump depth would
+	// blind the twin to saturation parks, which are exactly the
+	// latency it exists to predict (a parked op drains through the
+	// same service curve, it just waits at the door first).
+	_, comp, _ := sh.Books()
+	backlog := int(offered - comp - ctrl.Shed() -
+		s.edge[i].rejected.Load() - s.edge[i].abandoned.Load())
+	if backlog < 0 {
+		backlog = 0
+	}
+	pred := model.PredictP999NS(rate, backlog)
+	if pred > float64(1<<62) { // +Inf past capacity: clamp for the gauge
+		pred = float64(1 << 62)
+	}
+	ctrl.SetPredicted(int64(pred))
+	if pred <= float64(ctrl.SLO()) {
+		ctrl.Refill(0, false)
+		return
+	}
+	// Over SLO: invert the curve into the largest sustainable rate and
+	// grant exactly one tick's worth of it.
+	target := model.MaxAdmissibleRate(float64(ctrl.SLO()), backlog)
+	if max := capFrac * model.CapacityOpsPerSec(); target > max {
+		target = max
+	}
+	credits := int64(target * s.cfg.AdmitInterval.Seconds())
+	// Floor at one batch row: starving the shard entirely would stop
+	// the completions that refit the twin and end the brownout.
+	if min := int64(model.Workers); credits < min {
+		credits = min
+	}
+	ctrl.Refill(credits, true)
+}

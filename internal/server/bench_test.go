@@ -3,8 +3,10 @@ package server_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"batcher/internal/loadgen"
+	"batcher/internal/sched"
 	"batcher/internal/sched/policy"
 	"batcher/internal/server"
 )
@@ -284,4 +286,87 @@ func BenchmarkServerBatchDelay(b *testing.B) {
 	b.ReportMetric(res.OpsPerSec, "ops/s")
 	b.ReportMetric(float64(res.BatchDelay.Quantile(0.99)), "delay-p99-ns")
 	b.ReportMetric(res.BatchDelay.Mean(), "delay-mean-ns")
+}
+
+// BenchmarkServerOverload measures the serving edge past saturation.
+// The hashmap's batch cost is inflated to a known 50µs (as in the
+// brownout tests) so capacity is fixed at shards × workers/cost =
+// 80k ops/s, and 64 pre-dialed connections oversubscribe it with 2x
+// and 10x closed-loop in-flight load — with admission control off
+// (every excess op takes the saturation-park path) and on (the twin
+// sheds the excess at the edge with a fast FlagErr). The admit=off
+// rows price the pre-twin brownout behavior; admit=on must stay
+// within the nightly 1.5x gate of them — shedding is only worth
+// shipping if saying "no" costs less than parking. The shed-frac
+// metric reports how much of the offered load the controller
+// refused; errors are expected there, not a failure.
+func BenchmarkServerOverload(b *testing.B) {
+	for _, load := range []struct {
+		name     string
+		pipeline int
+	}{{"2x", 4}, {"10x", 20}} {
+		for _, admit := range []struct {
+			name string
+			slo  time.Duration
+		}{{"off", 0}, {"on", 2 * time.Millisecond}} {
+			b.Run(fmt.Sprintf("load=%s/admit=%s", load.name, admit.name), func(b *testing.B) {
+				s, err := server.Start(server.Config{
+					Workers:  2,
+					Shards:   2,
+					Seed:     53,
+					QueueCap: 64,
+					Window:   256,
+					SLO:      admit.slo,
+					WrapDS: func(_ int, ds uint8, inner sched.Batched) sched.Batched {
+						if ds == server.DSHashmap {
+							return &slowBatched{inner: inner, delay: 50 * time.Microsecond}
+						}
+						return inner
+					},
+				})
+				if err != nil {
+					b.Fatalf("Start: %v", err)
+				}
+				defer s.Shutdown()
+				d, err := loadgen.NewDriver(loadgen.Workload{
+					Addr:     s.Addr().String(),
+					Conns:    64,
+					Pipeline: load.pipeline,
+					DS:       server.DSHashmap,
+					ReadFrac: 0.5,
+					KeySpace: 1 << 14,
+					Seed:     53,
+				})
+				if err != nil {
+					b.Fatalf("NewDriver: %v", err)
+				}
+				defer d.Close()
+				// Warmup doubles as fitter priming when admission is on:
+				// the sampler ticks every 10ms and needs several batch
+				// samples plus the rate EWMA ramp before it limits, so
+				// keep offering load for ~100ms rather than one round.
+				for start := time.Now(); time.Since(start) < 100*time.Millisecond; {
+					if _, err := d.Run(64 * 20); err != nil {
+						b.Fatalf("warmup: %v", err)
+					}
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				res, err := d.Run(b.N)
+				b.StopTimer()
+				if err != nil {
+					b.Fatalf("driver: %v", err)
+				}
+				if admit.slo == 0 && res.Errors != 0 {
+					b.Fatalf("%d ops rejected with admission off", res.Errors)
+				}
+				st := s.Snapshot()
+				b.ReportMetric(res.OpsPerSec, "ops/s")
+				b.ReportMetric(float64(res.Errors)/float64(res.Responses), "shed-frac")
+				b.ReportMetric(st.MeanBatch, "batch-size")
+				b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+			})
+		}
+	}
 }

@@ -1,0 +1,244 @@
+package server_test
+
+// The brownout chaos witness for analytical-twin admission control
+// (DESIGN.md §15). The scenario the twin exists for: offered load far
+// past capacity must degrade gracefully — excess operations get a fast
+// FlagErr at the edge (a quick "no" from a healthy server), accepted
+// operations keep meeting the latency SLO, every shard's books balance
+// to the op, and the drain stays clean. Without admission control the
+// same overload collapses into saturation parks that burn their whole
+// timeout to answer the same "no".
+//
+// Capacity is made deliberately tiny and known: slowBatched adds a
+// fixed sleep to every hashmap batch, so a shard's service curve is
+// dominated by a cost the live fitter can actually recover, and "10×
+// capacity" is a few thousand ops/s — reachable by the loadgen even on
+// one CPU under -race. The CI brownout job runs this file across the
+// policy matrix (BATCHERD_POLICY), proving the Shed wrapper preserves
+// every inner policy's guarantees.
+
+import (
+	"testing"
+	"time"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/sched"
+	"batcher/internal/server"
+)
+
+// slowBatched inflates a structure's batch cost by a fixed sleep: a
+// stand-in for an expensive BOP that gives the shard a known, low
+// capacity (roughly Workers/delay ops/sec once batches fill).
+type slowBatched struct {
+	inner sched.Batched
+	delay time.Duration
+}
+
+func (s *slowBatched) RunBatch(ctx *sched.Ctx, ops []*sched.OpRecord) {
+	time.Sleep(s.delay)
+	s.inner.RunBatch(ctx, ops)
+}
+
+// brownoutServer starts a 2-worker sharded server with admission
+// control and the slow hashmap installed on every shard.
+func brownoutServer(t *testing.T, shards int, slo, batchCost time.Duration) *server.Server {
+	t.Helper()
+	s, err := server.Start(server.Config{
+		Workers:       2,
+		Shards:        shards,
+		Seed:          1009,
+		QueueCap:      128,
+		Window:        256,
+		Policy:        testPolicy(t),
+		SLO:           slo,
+		AdmitInterval: 10 * time.Millisecond,
+		WrapDS: func(_ int, ds uint8, b sched.Batched) sched.Batched {
+			if ds == server.DSHashmap {
+				return &slowBatched{inner: b, delay: batchCost}
+			}
+			return b
+		},
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s
+}
+
+// auditBrownoutBooks asserts every shard's extended ledger balances to
+// the op and the drain was clean: offered == completed + shed +
+// rejected + abandoned, nothing abandoned (clients stayed up), and
+// accepted == completed (every admitted op answered exactly once).
+func auditBrownoutBooks(t *testing.T, st server.Stats) {
+	t.Helper()
+	for _, ss := range st.PerShard {
+		if got := ss.Completed + ss.Shed + ss.Rejected + ss.Abandoned; ss.Offered != got {
+			t.Errorf("shard %d books: offered %d != completed %d + shed %d + rejected %d + abandoned %d",
+				ss.Shard, ss.Offered, ss.Completed, ss.Shed, ss.Rejected, ss.Abandoned)
+		}
+		if ss.Abandoned != 0 {
+			t.Errorf("shard %d abandoned %d ops with clean clients", ss.Shard, ss.Abandoned)
+		}
+		if ss.Accepted != ss.Completed {
+			t.Errorf("shard %d drain: accepted %d != completed %d", ss.Shard, ss.Accepted, ss.Completed)
+		}
+	}
+}
+
+// TestBrownoutGracefulShed is the 10× overload witness. Phase one
+// (closed-loop, moderate) primes each shard's fitter with real batch
+// samples; phase two offers roughly ten times the modeled capacity
+// open-loop. With admission control on, the overload must brown out:
+// a substantial shed count, shed responses fast (they never touch a
+// pump), accepted responses within the SLO, books balanced per shard,
+// clean drain.
+func TestBrownoutGracefulShed(t *testing.T) {
+	const (
+		slo       = 1 * time.Second
+		batchCost = 5 * time.Millisecond
+	)
+	// Capacity ≈ shards × workers/batchCost = 2 × 2/5ms = 800 ops/s.
+	overloadRate := 8000.0
+	overloadOps := 2200 // per conn, 8 conns: ~2.2s of offered overload
+	if testing.Short() {
+		overloadOps = 800
+	}
+	s := brownoutServer(t, 2, slo, batchCost)
+	defer s.Shutdown()
+	addr := s.Addr().String()
+
+	// Warm-up: enough completions for every shard's fitter (uniform
+	// keys reach both shards) while staying well under capacity. It
+	// must be open-loop at an explicit modest rate: a closed-loop
+	// warm-up self-paces to the server's completion rate, i.e. ρ≈1,
+	// which the twin rightly prices as unsustainable. Note the fitted
+	// capacity here is conservative — warm-up batches carry one op, so
+	// the proportional curve s(b) = 5ms·b undersells the flat 5ms
+	// batch cost until overload-sized batches teach the fitter better.
+	warm, err := loadgen.Run(loadgen.Workload{
+		Addr: addr, Conns: 2, Ops: 40, RatePerSec: 150,
+		DS: server.DSHashmap, KeySpace: 1 << 12, Seed: 1010,
+	})
+	if err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if warm.Errors != 0 {
+		t.Fatalf("warm-up shed %d ops well under capacity", warm.Errors)
+	}
+
+	// Poll the stats document during the overload: the predicted-p999
+	// gauge is a live signal (it reads near zero again once the load
+	// drains), so the assertion must catch it mid-brownout.
+	var maxPred int64
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollStop:
+				return
+			case <-tick.C:
+				if p := s.Snapshot().AdmitPredictedP999NS; p > maxPred {
+					maxPred = p
+				}
+			}
+		}
+	}()
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr: addr, Conns: 8, Ops: overloadOps, RatePerSec: overloadRate,
+		DS: server.DSHashmap, KeySpace: 1 << 12, Seed: 1011,
+	})
+	close(pollStop)
+	<-pollDone
+	if err != nil {
+		t.Fatalf("overload: %v", err)
+	}
+	if res.Responses != res.Sent {
+		t.Fatalf("responses %d != sent %d", res.Responses, res.Sent)
+	}
+	// Brownout, not collapse: most of a 10× overload must shed...
+	if res.Errors < res.Sent/4 {
+		t.Fatalf("only %d/%d overload ops shed; admission control did not engage", res.Errors, res.Sent)
+	}
+	// ...while the server still does real work.
+	if served := res.Responses - res.Errors; served < 100 {
+		t.Fatalf("only %d ops served during overload", served)
+	}
+	// Shed ops answer fast: an edge FlagErr never waits on a pump, so
+	// even its tail stays far inside the SLO.
+	if res.ErrLatency == nil {
+		t.Fatal("no error-latency histogram despite sheds")
+	}
+	if p99 := time.Duration(res.ErrLatency.Quantile(0.99)); p99 > slo/4 {
+		t.Errorf("shed p99 = %v, want < %v (fast error, not a stalled park)", p99, slo/4)
+	}
+	// Accepted ops keep the SLO: the twin only admits what it predicts
+	// the shard can serve inside it.
+	if res.P999 > slo {
+		t.Errorf("accepted-op p999 = %v exceeds SLO %v", res.P999, slo)
+	}
+
+	s.Shutdown()
+	st := s.Snapshot()
+	auditBrownoutBooks(t, st)
+	t.Logf("brownout: offered=%d served=%d shed=%d rejected=%d shed-p99=%v ok-p999=%v worst-predicted=%v slo=%v",
+		st.Offered, res.Responses-res.Errors, st.Shed, st.Rejected,
+		time.Duration(res.ErrLatency.Quantile(0.99)), res.P999,
+		time.Duration(maxPred), slo)
+	if st.Shed == 0 {
+		t.Fatal("stats report zero sheds after a shedding run")
+	}
+	if int64(res.Errors) != st.Shed+st.Rejected {
+		t.Errorf("client errors %d != shed %d + rejected %d", res.Errors, st.Shed, st.Rejected)
+	}
+	if st.AdmitSLONS != slo.Nanoseconds() {
+		t.Errorf("AdmitSLONS = %d, want %d", st.AdmitSLONS, slo.Nanoseconds())
+	}
+	if maxPred <= slo.Nanoseconds() {
+		t.Errorf("worst predicted p999 %d never exceeded the SLO %d during a 10x overload",
+			maxPred, slo.Nanoseconds())
+	}
+	if st.Offered != warm.Sent+res.Sent {
+		t.Errorf("offered %d != total sent %d", st.Offered, warm.Sent+res.Sent)
+	}
+}
+
+// TestBrownoutBooksBalanceShards4 hammers a 4-shard server whose SLO is
+// set below the service time itself, so once the fitters warm the
+// controllers limit permanently and nearly everything sheds — the
+// worst case for the edge ledger. Every shard's books must still
+// balance to the op through sustained closed-loop shedding.
+func TestBrownoutBooksBalanceShards4(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 150
+	}
+	s := brownoutServer(t, 4, 2*time.Millisecond, 1*time.Millisecond)
+	defer s.Shutdown()
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr:  s.Addr().String(),
+		Conns: 8, Ops: ops, Window: 16,
+		DS: server.DSHashmap, KeySpace: 1 << 14, Seed: 1012,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Responses != res.Sent {
+		t.Fatalf("responses %d != sent %d", res.Responses, res.Sent)
+	}
+	s.Shutdown()
+	st := s.Snapshot()
+	auditBrownoutBooks(t, st)
+	if st.Shed == 0 {
+		t.Fatal("an SLO below the service time shed nothing")
+	}
+	if st.Shed != int64(res.Errors)-st.Rejected {
+		t.Errorf("shed %d != client errors %d - rejected %d", st.Shed, res.Errors, st.Rejected)
+	}
+	if st.Offered != res.Sent {
+		t.Errorf("offered %d != sent %d", st.Offered, res.Sent)
+	}
+}

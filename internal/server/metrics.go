@@ -136,6 +136,25 @@ func (s *Server) buildMetrics() {
 			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
 				return float64(sh.Pump().Depth())
 			})
+		if s.admission != nil {
+			// Admission-control families (DESIGN.md §15), per shard:
+			// each shard has its own twin, its own prediction, and its
+			// own shed ledger.
+			ctrl := s.admission[i]
+			reg.CounterFunc("batcherd_admission_shed_total",
+				"operations shed at the edge by the admission controller",
+				[]obs.Label{{Name: "shard", Value: label}}, ctrl.Shed)
+			reg.GaugeFunc("batcherd_admission_predicted_p999_ns",
+				"the analytical twin's p999 prediction at the observed arrival rate",
+				[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+					return float64(ctrl.Predicted())
+				})
+			reg.GaugeFunc("batcherd_admission_slo_ns",
+				"configured admission latency SLO",
+				[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+					return float64(ctrl.SLO())
+				})
+		}
 	}
 	if s.cfg.SlowK >= 0 {
 		s.flight = obs.NewFlightRecorder(s.cfg.SlowK, s.cfg.SlowWindow)

@@ -378,6 +378,20 @@ func (s *Server) classify(c *conn, q Request, sc *edgeScratch) {
 	// home shard for the keyless counter).
 	sh := s.shardFor(q.DS, q.Key)
 	rq.shard = int32(sh)
+	// Offered is counted before admission so the sampler measures true
+	// demand (the arrival rate the twin prices) even while shedding.
+	s.edge[sh].offered.Add(1)
+	if s.admission != nil && !s.admission[sh].Take() {
+		// The shard's twin predicts p999 over SLO at this arrival rate:
+		// shed at the edge with an immediate FlagErr — a fast no from a
+		// healthy server — instead of parking into the saturation list
+		// where the op would burn its whole timeout to learn the same
+		// answer. The controller already counted the shed.
+		s.immediate.Add(1)
+		rq.flags = FlagErr
+		sc.imms = append(sc.imms, rq)
+		return
+	}
 	rq.op.DS = s.router.Shard(sh).DS(int(q.DS))
 	rq.op.Kind = kind
 	rq.dsIdx = int8(q.DS)
@@ -472,6 +486,7 @@ func (s *Server) rejectAll(c *conn, rest []*request) {
 	for _, rq := range rest {
 		s.rejected.Add(1)
 		s.immediate.Add(1)
+		s.edge[rq.shard].rejected.Add(1)
 		rq.flags = FlagErr
 		c.wl.enqueue(rq)
 	}
@@ -485,6 +500,7 @@ func (s *Server) retireAbandoned(c *conn, rqs []*request) {
 		return
 	}
 	for _, rq := range rqs {
+		s.edge[rq.shard].abandoned.Add(1)
 		rq.payload = nil
 		rq.c = nil
 		s.reqPool.Put(rq)
@@ -917,6 +933,7 @@ func (s *Server) evict(c *conn, reason evictReason) {
 		s.evictions.Add(1)
 	}
 	for _, rq := range pend {
+		s.edge[rq.shard].abandoned.Add(1)
 		rq.payload = nil
 		rq.c = nil
 		s.reqPool.Put(rq)

@@ -14,6 +14,7 @@ import (
 	"batcher/internal/ds/tree23"
 	"batcher/internal/obs"
 	"batcher/internal/sched"
+	"batcher/internal/sched/policy"
 	"batcher/internal/shard"
 )
 
@@ -101,6 +102,20 @@ type Config struct {
 	// SlowWindow sets the flight recorder's rotation period (the
 	// "slowest per window" horizon). Defaults to 10s.
 	SlowWindow time.Duration
+	// SLO, when positive, turns on analytical-twin admission control
+	// (DESIGN.md §15): each shard gets a sched.AdmissionController fed
+	// by a live-fitted sim.Model of that shard, and when the twin
+	// predicts p999 above SLO at the observed arrival rate, excess
+	// operations are shed at the edge with a fast FlagErr instead of
+	// parking into the saturation list. Zero disables admission
+	// control entirely (the pre-twin behavior: blind SaturationTimeout
+	// only).
+	SLO time.Duration
+	// AdmitInterval is the admission sampler's tick: how often each
+	// shard's twin is refitted from its live histograms and its
+	// credit bucket refilled. Only meaningful with SLO > 0. Defaults
+	// to 10ms.
+	AdmitInterval time.Duration
 }
 
 // Server owns a listener, a shard router (N scheduler runtimes, each
@@ -137,6 +152,13 @@ type Server struct {
 	satMu    sync.Mutex
 	satConns []*conn
 	satCount atomic.Int64
+
+	// Admission control (admission.go): one controller per shard when
+	// Config.SLO > 0 (nil slice otherwise), plus the per-shard edge
+	// ledger that makes the shard books balance —
+	// offered == completed + shed + rejected + abandoned.
+	admission []*sched.AdmissionController
+	edge      []edgeCounters
 
 	curConns  atomic.Int64
 	accepted  atomic.Int64 // operations admitted into a shard pump (all shards)
@@ -235,6 +257,9 @@ func Start(cfg Config) (*Server, error) {
 	case cfg.SaturationTimeout < 0:
 		cfg.SaturationTimeout = 0
 	}
+	if cfg.AdmitInterval <= 0 {
+		cfg.AdmitInterval = 10 * time.Millisecond
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -251,18 +276,33 @@ func Start(cfg Config) (*Server, error) {
 		edgeStop: make(chan struct{}),
 		done:     make(chan struct{}),
 		conns:    make(map[*conn]struct{}),
+		edge:     make([]edgeCounters, cfg.Shards),
 	}
 	s.reqPool.New = func() any {
 		rq := &request{}
 		rq.op.Aux = rq
 		return rq
 	}
+	// Admission control: one controller per shard, and each shard's
+	// policy wrapped in policy.Shed so the pump's Admit seam enforces
+	// the controller's depth high-water mark behind the edge shed.
+	var policyFor func(int) sched.BatchPolicy
+	if cfg.SLO > 0 {
+		s.admission = make([]*sched.AdmissionController, cfg.Shards)
+		for i := range s.admission {
+			s.admission[i] = sched.NewAdmissionController(cfg.SLO)
+		}
+		policyFor = func(i int) sched.BatchPolicy {
+			return policy.Shed{Inner: cfg.Policy, Ctrl: s.admission[i]}
+		}
+	}
 	s.router = shard.NewRouter(shard.Config{
-		Shards:   cfg.Shards,
-		Workers:  cfg.Workers,
-		Seed:     cfg.Seed,
-		QueueCap: cfg.QueueCap,
-		Policy:   cfg.Policy,
+		Shards:    cfg.Shards,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+		QueueCap:  cfg.QueueCap,
+		Policy:    cfg.Policy,
+		PolicyFor: policyFor,
 		NewDS: func(i int) []sched.Batched {
 			// Each shard gets its own structure instances, seeded
 			// distinctly (a shard is an independent batching domain, not
@@ -311,6 +351,10 @@ func Start(cfg Config) (*Server, error) {
 	s.srvWG.Add(2 + len(s.wloops))
 	go func() { defer s.srvWG.Done(); s.router.Serve() }()
 	go func() { defer s.srvWG.Done(); s.accept() }()
+	if s.admission != nil {
+		s.srvWG.Add(1)
+		go func() { defer s.srvWG.Done(); s.runAdmission() }()
+	}
 	for _, w := range s.wloops {
 		go w.run()
 	}

@@ -35,6 +35,20 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Immediate int64 `json:"immediate"`
 	Failed    int64 `json:"failed"`
+	// Offered counts valid operations routed to a shard at decode time
+	// (before admission control), summed across shards; Shed counts
+	// those refused by the admission controllers (fast FlagErr at the
+	// edge, a subset of Immediate). With admission control off, Shed is
+	// 0 and Offered == Accepted + Rejected + abandoned ops. Per shard,
+	// offered == completed + shed + rejected + abandoned after a drain.
+	Offered int64 `json:"offered"`
+	Shed    int64 `json:"shed"`
+	// AdmitSLONS is the configured admission SLO (Config.SLO) in
+	// nanoseconds, 0 when admission control is off;
+	// AdmitPredictedP999NS is the worst per-shard twin prediction at
+	// the last sampler tick.
+	AdmitSLONS           int64 `json:"admit_slo_ns"`
+	AdmitPredictedP999NS int64 `json:"admit_predicted_p999_ns"`
 	// DecodeErrors counts connections dropped for malformed frames
 	// (oversized length prefixes, short request bodies).
 	DecodeErrors int64 `json:"decode_errors"`
@@ -93,6 +107,18 @@ type ShardStats struct {
 	Accepted  int64 `json:"accepted"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Offered/Shed/Rejected/Abandoned extend the ledger to the edge:
+	// offered ops routed here at decode, shed by the admission
+	// controller, rejected without a pump (saturation cap, shutdown),
+	// and abandoned (conn died before the pump). After a drain,
+	// offered == completed + shed + rejected + abandoned.
+	Offered   int64 `json:"offered"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+	Abandoned int64 `json:"abandoned"`
+	// PredictedP999NS is this shard's twin prediction at the last
+	// admission sampler tick (0 with admission off or cold).
+	PredictedP999NS int64 `json:"predicted_p999_ns"`
 	// Batches/BatchedOps/MeanBatch describe the shard runtime's
 	// executed batches; OpsPerSec is its pump-completed throughput over
 	// the server's uptime — the same basis as the global figure, which
@@ -145,10 +171,22 @@ func (s *Server) Snapshot() Stats {
 			Accepted:    acc,
 			Completed:   comp,
 			Failed:      failed,
+			Offered:     s.edge[i].offered.Load(),
+			Rejected:    s.edge[i].rejected.Load(),
+			Abandoned:   s.edge[i].abandoned.Load(),
 			Batches:     b,
 			BatchedOps:  o,
 			QueueDepth:  sh.Pump().Depth(),
 			BatchPanics: sh.Runtime().BatchPanics(),
+		}
+		if s.admission != nil {
+			ss.Shed = s.admission[i].Shed()
+			ss.PredictedP999NS = s.admission[i].Predicted()
+		}
+		st.Offered += ss.Offered
+		st.Shed += ss.Shed
+		if ss.PredictedP999NS > st.AdmitPredictedP999NS {
+			st.AdmitPredictedP999NS = ss.PredictedP999NS
 		}
 		if b > 0 {
 			ss.MeanBatch = float64(o) / float64(b)
@@ -161,6 +199,7 @@ func (s *Server) Snapshot() Stats {
 		st.OpsPerSec += ss.OpsPerSec
 		st.PerShard[i] = ss
 	}
+	st.AdmitSLONS = s.cfg.SLO.Nanoseconds()
 	st.Policy = s.router.Shard(0).Runtime().Policy().Name()
 	reasons := s.router.LaunchReasons()
 	st.LaunchReasons = make(map[string]int64, len(reasons)-1)
