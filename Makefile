@@ -34,7 +34,7 @@ bench-json:
 # tiny iteration counts measure per-run fan-out, not serving.
 SERVER_BENCH_ARGS ?= -benchtime=2000x -count=1
 bench-server:
-	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay|ServerHighFanIn|ServerSharded|ServerPolicy|ServerOverload' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
+	go test -run '^$$' -bench 'ServerLoopback|ServerBatchDelay|ServerHighFanIn|ServerSharded|ServerPolicy|ServerOverload|ServerConformance' -benchmem $(SERVER_BENCH_ARGS) ./internal/server \
 		| go run ./cmd/batcherlab benchjson -append -o BENCH_server.json
 
 # Regenerate the paper's evaluation (see EXPERIMENTS.md).

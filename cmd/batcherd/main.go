@@ -22,9 +22,11 @@
 //	    fast error instead of letting it park. -admit-interval sets the
 //	    sampler period (default 10ms).
 //	    -metrics serves an HTTP listener with /metrics (Prometheus text
-//	    format, including the per-phase and batch-delay histograms),
-//	    /slow (the tail flight recorder: the K slowest ops per window
-//	    with full phase vectors, as JSON), /debug/pprof/* (Go's
+//	    format, including the per-phase and batch-delay histograms and
+//	    the live conformance gauges), /slow (the tail flight recorder:
+//	    the K slowest ops per window with full phase vectors, as JSON),
+//	    /debug/admission (the twin-residual summary and the ring of
+//	    recent admission decisions, with -slo), /debug/pprof/* (Go's
 //	    profilers), /debug/rtrace/{start,stop} (on-demand Go runtime
 //	    execution trace), and — with -trace-ring — /trace, a live Chrome
 //	    trace_event JSON snapshot of the scheduler's event rings (N
@@ -43,9 +45,12 @@
 //	    making the reactor's flat per-op cost visible from the shell.
 //
 //	batcherd stats [-addr host:7411]
-//	    Fetch and print the server's stats document: aggregated totals,
-//	    and — when the server runs sharded — a per-shard table
-//	    (accepted, ops/s, batches, mean batch, queue depth, faults).
+//	    Fetch and print the server's stats document: aggregated totals
+//	    (including the admission ledger — offered/shed/SLO/predicted
+//	    p999 — and the live Theorem 5.4 conformance gauges), and — when
+//	    the server runs sharded — a per-shard table (accepted, offered,
+//	    ops/s, shed, batches, mean batch, queue depth, predicted p999,
+//	    headroom, max landings, faults).
 package main
 
 import (
@@ -148,6 +153,7 @@ func serveCmd(args []string) {
 		mux.Handle("/metrics", s.MetricsHandler())
 		mux.Handle("/trace", s.TraceHandler())
 		mux.Handle("/slow", s.SlowHandler())
+		mux.Handle("/debug/admission", s.AdmissionDebugHandler())
 		// Go's own profilers ride the same listener: CPU/heap/goroutine
 		// profiles under /debug/pprof/, and an on-demand runtime
 		// execution trace under /debug/rtrace/{start,stop} (the
@@ -392,13 +398,24 @@ func printStats(addr string) {
 			float64(st.BatchedOps)/float64(st.ReadSyscalls),
 			float64(st.BatchedOps)/float64(st.WriteSyscalls))
 	}
+	slo := "off"
+	if st.AdmitSLONS > 0 {
+		slo = time.Duration(st.AdmitSLONS).String()
+	}
+	fmt.Printf("admit:  offered=%d shed=%d slo=%s predicted_p999=%s twin_residual=%.1f%%\n",
+		st.Offered, st.Shed, slo, time.Duration(st.AdmitPredictedP999NS), st.TwinResidualPct)
+	fmt.Printf("bound:  headroom=%.3f max_landings=%d (Theorem 5.4 envelope; >1 / >2 break the guarantees)\n",
+		st.ConformHeadroom, st.ConformMaxLandings)
 	if len(st.PerShard) > 1 {
-		fmt.Printf("%6s %10s %10s %8s %8s %10s %7s %7s\n",
-			"shard", "accepted", "ops/s", "batches", "mean", "queue", "failed", "panics")
+		fmt.Printf("%6s %10s %10s %10s %7s %8s %8s %10s %12s %9s %6s %7s %7s\n",
+			"shard", "accepted", "offered", "ops/s", "shed", "batches", "mean",
+			"queue", "pred_p999", "headroom", "lands", "failed", "panics")
 		for _, sh := range st.PerShard {
-			fmt.Printf("%6d %10d %10.0f %8d %8.2f %10d %7d %7d\n",
-				sh.Shard, sh.Accepted, sh.OpsPerSec, sh.Batches, sh.MeanBatch,
-				sh.QueueDepth, sh.Failed, sh.BatchPanics)
+			fmt.Printf("%6d %10d %10d %10.0f %7d %8d %8.2f %10d %12s %9.3f %6d %7d %7d\n",
+				sh.Shard, sh.Accepted, sh.Offered, sh.OpsPerSec, sh.Shed,
+				sh.Batches, sh.MeanBatch, sh.QueueDepth,
+				time.Duration(sh.PredictedP999NS), sh.Conformance.Headroom,
+				sh.Conformance.MaxLandings, sh.Failed, sh.BatchPanics)
 		}
 	}
 }

@@ -23,6 +23,11 @@
 //	batcherlab slow [-addr http://127.0.0.1:9100]
 //	                    # fetch a running batcherd's tail flight recorder
 //	                    # (/slow) and print the K slowest recent ops
+//	batcherlab watch [-addr 127.0.0.1:7411] [-metrics http://127.0.0.1:9100]
+//	                 [-interval 1s] [-once]
+//	                    # live dashboard for a running batcherd: per-shard
+//	                    # ops/s, batching, queue depth, predicted vs
+//	                    # measured p999, Theorem 5.4 headroom, shed rate
 //	batcherlab twin [-validate] [-tol 0.25] [-record f.json] [-replay f.json]
 //	                [-quick] [-workers N]
 //	                    # calibrate the analytical twin (DESIGN.md §15)
@@ -79,6 +84,12 @@ func main() {
 		// Operational: fetch a running batcherd's tail flight recorder
 		// (slow.go). Takes its own -addr flag, excluded from "all".
 		slowCmd(flag.Args()[1:])
+		return
+	}
+	if cmd == "watch" {
+		// Operational: polling dashboard over a running batcherd's stats
+		// and metrics (watch.go). Own flags, excluded from "all".
+		watchCmd(flag.Args()[1:])
 		return
 	}
 	if cmd == "twin" {

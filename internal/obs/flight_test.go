@@ -114,3 +114,49 @@ func TestFlightRecorderConcurrentOffer(t *testing.T) {
 		t.Fatalf("snapshot has %d ops, want <= 2K = 16", len(snap))
 	}
 }
+
+// TestFlightRecorderRotationConcurrentOffer drives continuous offers
+// from four goroutines across several windows (snapshots racing the
+// rotation path, meaningful under -race) and then checks rotation
+// correctness, not just crash-freedom: everything still visible must
+// be from the last two windows — old ops rotate out even when the
+// rotation CAS races concurrent offers.
+func TestFlightRecorderRotationConcurrentOffer(t *testing.T) {
+	const window = 10 * time.Millisecond
+	f := NewFlightRecorder(8, window)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Offer(slowOp(int64(g)*1_000_000 + i))
+				if i%64 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(6 * window)
+	close(stop)
+	wg.Wait()
+
+	snap := f.Snapshot()
+	if len(snap) == 0 || len(snap) > 16 {
+		t.Fatalf("snapshot has %d ops, want 1..2K=16", len(snap))
+	}
+	// Cur + prev span at most two windows; allow generous scheduler
+	// slack on top, but ops from the run's first windows must be gone.
+	maxAge := int64(4 * window)
+	for _, op := range snap {
+		if op.AgeNS > maxAge {
+			t.Fatalf("op aged %v survived rotation (window %v)", time.Duration(op.AgeNS), window)
+		}
+	}
+}

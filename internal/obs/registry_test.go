@@ -216,3 +216,37 @@ func TestRegistryFamilyGrouping(t *testing.T) {
 		t.Fatalf("labeled samples missing:\n%s", out)
 	}
 }
+
+// TestRegistryHostileLabelEscaping registers label values containing
+// every character the exposition format 0.0.4 requires escaping in
+// label values — backslash, double quote, newline — and checks both
+// the exact escaped rendering and that the strict parser still reads
+// the exposition line by line (an unescaped newline would split a
+// sample across two lines; an unescaped quote would truncate it).
+func TestRegistryHostileLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\\b\"c\nd"
+	reg.CounterFunc("hostile_total", "hostile label", []Label{{"k", hostile}}, func() int64 { return 9 })
+	h := reg.Histogram("hostile_ns", "hostile histogram label", []Label{{"ds", `x"y`}})
+	h.Observe(1000)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if want := `hostile_total{k="a\\b\"c\nd"} 9`; !strings.Contains(out, want) {
+		t.Fatalf("escaped sample %q missing from:\n%s", want, out)
+	}
+	// The histogram path appends le after the hostile label; both must
+	// survive on one line.
+	if !strings.Contains(out, `hostile_ns_count{ds="x\"y"} 1`) {
+		t.Fatalf("escaped histogram label missing from:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "hostile") && strings.Contains(line, `"c`) && !strings.Contains(line, `\n`) {
+			t.Fatalf("raw newline leaked into exposition line %q", line)
+		}
+	}
+	validatePromText(t, strings.NewReader(out))
+}

@@ -315,10 +315,13 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	if len(working) > nw {
 		panic("sched: Invariant 2 violated: batch larger than P")
 	}
+	var launchNS int64
+	if rt.stampPhases || rt.conform != nil {
+		launchNS = obs.Now()
+	}
 	if rt.stampPhases {
-		now := obs.Now()
 		for _, op := range working {
-			op.Phases[obs.PhaseLaunch] = now
+			op.Phases[obs.PhaseLaunch] = launchNS
 		}
 	}
 
@@ -346,16 +349,34 @@ func (rt *Runtime) launchBatchBody(c *Ctx) {
 	// observe its stamps (the same ordering rule as Err above). One
 	// clock read serves the whole batch; the group scan also records
 	// which batch each op rode in.
+	var landNS int64
+	if rt.stampPhases || rt.conform != nil {
+		landNS = obs.Now()
+	}
 	if rt.stampPhases {
-		now := obs.Now()
 		size := int32(len(working))
 		for gi := range s.groups {
 			for _, op := range s.groups[gi].ops {
-				op.Phases[obs.PhaseLand] = now
+				op.Phases[obs.PhaseLand] = landNS
 				op.BatchSize = size
 				op.BatchGroup = int32(gi)
 			}
 		}
+	}
+
+	// Live conformance: feed the envelope monitor before step 4 flips
+	// statuses, while each participant's pending-slot stamp is still
+	// this batch's publish time (a worker cannot republish until it
+	// observes done). The slot stamps are written unconditionally by
+	// batchify, so the monitor needs no phase stamping.
+	if m := rt.conform; m != nil {
+		minPending := rt.pending[working[0].worker].stamp.Load()
+		for _, op := range working[1:] {
+			if st := rt.pending[op.worker].stamp.Load(); st < minPending {
+				minPending = st
+			}
+		}
+		m.RecordBatch(launchNS, landNS, minPending, len(working))
 	}
 
 	// Record metrics before waking participants.

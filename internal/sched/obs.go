@@ -52,6 +52,25 @@ func (rt *Runtime) SetBatchSizeHistogram(h *obs.Histogram) {
 	rt.batchHist = h
 }
 
+// SetConformance attaches (or, with nil, detaches) a live conformance
+// monitor: LaunchBatch feeds it one RecordBatch per executed nonempty
+// batch — launch and land stamps, the minimum pending-publish stamp
+// among the batch's ops (read from the pending-array slot stamps, so
+// the monitor works with phase stamping off), and the working-set
+// size. The monitor maintains the windowed Theorem 5.4 envelope terms
+// and the Lemma 2 landings count; see obs.Conform. Call only while no
+// Run or Serve is in progress; workers read the pointer
+// unsynchronized.
+func (rt *Runtime) SetConformance(m *obs.Conform) {
+	if rt.running.Load() {
+		panic("sched: SetConformance called during Run")
+	}
+	rt.conform = m
+}
+
+// Conformance returns the attached conformance monitor, or nil.
+func (rt *Runtime) Conformance() *obs.Conform { return rt.conform }
+
 // SetPhaseStamps enables (or disables) op-lifecycle phase stamping:
 // while on, Batchify stamps obs.PhasePending and LaunchBatch stamps
 // obs.PhaseLaunch and obs.PhaseLand — plus the landing batch's size and

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"batcher/internal/obs"
 )
@@ -204,6 +205,63 @@ func TestSetTracerDuringRunPanics(t *testing.T) {
 	})
 }
 
+// TestConformanceLiveRun attaches the live conformance monitor to a
+// real batching run and checks the paper's guarantees on its gauges:
+// every batch was observed, no op's wait saw more than Lemma 2's two
+// landings, and the measured batch-delay max stayed inside the
+// Theorem 5.4 envelope (headroom <= 1). The monitor needs no phase
+// stamping — it reads the unconditional pending-slot stamps — so this
+// run leaves stamping off deliberately.
+func TestConformanceLiveRun(t *testing.T) {
+	rt := New(Config{Workers: 4, Seed: 808})
+	m := obs.NewConform(time.Hour)
+	rt.SetConformance(m)
+	ds := &sumDS{}
+	const n = 2000
+	rt.Run(func(c *Ctx) {
+		c.For(0, n, 1, func(cc *Ctx, i int) {
+			op := &OpRecord{DS: ds, Val: 1}
+			cc.Batchify(op)
+		})
+	})
+	batches, ops := rt.LiveBatchStats()
+	if ops != n {
+		t.Fatalf("LiveBatchStats ops = %d, want %d", ops, n)
+	}
+	if got := m.Batches(); got != batches {
+		t.Fatalf("monitor saw %d batches, runtime executed %d", got, batches)
+	}
+	if got := m.MaxLandings(); got < 1 || got > 2 {
+		t.Fatalf("max landings = %d, want 1..2 (Lemma 2)", got)
+	}
+	if got := m.Violations(); got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+	if h := m.Headroom(); h > 1.0 {
+		t.Fatalf("headroom = %v > 1: measured delay escaped the Theorem 5.4 envelope", h)
+	}
+	if m.DelayMaxNS() <= 0 || m.SpanMaxNS() <= 0 {
+		t.Fatalf("degenerate gauges: delay=%d span=%d", m.DelayMaxNS(), m.SpanMaxNS())
+	}
+	if rt.Conformance() != m {
+		t.Fatal("Conformance() did not return the attached monitor")
+	}
+}
+
+// TestSetConformanceDuringRunPanics pins the quiescence contract for
+// the monitor hook, like SetTracer's.
+func TestSetConformanceDuringRunPanics(t *testing.T) {
+	rt := New(Config{Workers: 1, Seed: 809})
+	rt.Run(func(c *Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetConformance during Run did not panic")
+			}
+		}()
+		rt.SetConformance(obs.NewConform(0))
+	})
+}
+
 // TestBatchifyZeroAllocsTraced is the enabled-path twin of
 // TestBatchifyRoundTripZeroAllocs: tracing and the batch-size histogram
 // are preallocated, so even with observability ON the round trip must
@@ -245,5 +303,55 @@ func TestBatchifyZeroAllocsTraced(t *testing.T) {
 	})
 	if got != 0 {
 		t.Fatalf("traced Batchify+LaunchBatch allocates %v objects/op, want 0", got)
+	}
+}
+
+// TestBatchifyZeroAllocsConform pins the conformance monitor's cost
+// contract: with the monitor attached (alongside tracing, the batch
+// histogram, and phase stamping — the full serving configuration) the
+// Batchify+LaunchBatch round trip still allocates nothing.
+func TestBatchifyZeroAllocsConform(t *testing.T) {
+	skipIfRace(t)
+	h := &allocHarness{
+		jobs:    make(chan func(*Ctx)),
+		jobDone: make(chan struct{}),
+		runDone: make(chan struct{}),
+	}
+	rt := New(Config{Workers: 1, Seed: 810})
+	rt.SetTracer(rt.NewTracer(1024))
+	rt.SetBatchSizeHistogram(obs.NewHistogram())
+	rt.SetPhaseStamps(true)
+	m := obs.NewConform(time.Hour)
+	rt.SetConformance(m)
+	go func() {
+		defer close(h.runDone)
+		rt.Run(func(c *Ctx) {
+			for f := range h.jobs {
+				f(c)
+				h.jobDone <- struct{}{}
+			}
+		})
+	}()
+	t.Cleanup(func() {
+		close(h.jobs)
+		<-h.runDone
+	})
+	ds := &allocFreeDS{}
+	var got float64
+	h.do(func(c *Ctx) {
+		op := c.Op()
+		*op = OpRecord{DS: ds, Val: 1}
+		c.Batchify(op)
+		got = testing.AllocsPerRun(200, func() {
+			op := c.Op()
+			*op = OpRecord{DS: ds, Val: 1}
+			c.Batchify(op)
+		})
+	})
+	if got != 0 {
+		t.Fatalf("conform-monitored Batchify+LaunchBatch allocates %v objects/op, want 0", got)
+	}
+	if m.Batches() == 0 {
+		t.Fatal("monitor recorded no batches during the alloc pin")
 	}
 }

@@ -269,12 +269,13 @@ type Runtime struct {
 	// counted here.
 	liveSteals atomic.Int64
 
-	// tracer and batchHist are the optional observability sinks
-	// (obs.go). Both are written only while the runtime is quiescent and
-	// read unsynchronized by workers; nil means disabled, and every hook
-	// site is a single nil-check branch in that case.
+	// tracer, batchHist, and conform are the optional observability
+	// sinks (obs.go). All are written only while the runtime is
+	// quiescent and read unsynchronized by workers; nil means disabled,
+	// and every hook site is a single nil-check branch in that case.
 	tracer    *obs.Tracer
 	batchHist *obs.Histogram
+	conform   *obs.Conform
 
 	// stampPhases enables op-lifecycle phase stamping (obs.Phase*):
 	// Batchify writes PhasePending and LaunchBatch writes

@@ -18,6 +18,10 @@ package server
 // hot path never waits on the sampler.
 
 import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +61,118 @@ type admitState struct {
 	ops       int64
 	execCount int64
 	execSum   int64
+	// cursor tracks the shard's end-to-end latency histogram so each
+	// tick can read the p999 realized *during that tick* (the delta
+	// quantile); lastPred is the prediction the twin made at the
+	// previous tick — the forecast that delta realizes or refutes — or
+	// 0 when that tick was limiting (a shedding tick's forecast prices
+	// load that never ran, so it is not pairable).
+	cursor   obs.HistCursor
+	lastPred int64
+}
+
+// residAlpha is the EWMA weight of the rolling twin-residual gauge. A
+// single tick's p999 is a noisy order statistic, so the gauge rolls
+// ~20 ticks (~200ms at the default interval) of absolute percent
+// errors rather than reporting the last one raw.
+const residAlpha = 0.1
+
+// twinShardStats is one shard's twin-accuracy telemetry, written by
+// the sampler and read by scrapes (/metrics, /stats, /debug/admission).
+type twinShardStats struct {
+	resid    atomic.Uint64 // math.Float64bits of the rolling MAPE (percent)
+	samples  atomic.Int64  // residual observations folded into the gauge
+	realized atomic.Int64  // last realized per-tick p999, ns
+}
+
+// residualPct returns the rolling mean absolute percent error of the
+// twin's p999 predictions, 0 until the first paired observation.
+func (t *twinShardStats) residualPct() float64 {
+	return math.Float64frombits(t.resid.Load())
+}
+
+// observe folds one |predicted-realized|/realized sample into the
+// rolling gauge. Sampler-only writer; scrapes read concurrently.
+func (t *twinShardStats) observe(pct float64) {
+	if t.samples.Add(1) == 1 {
+		t.resid.Store(math.Float64bits(pct))
+		return
+	}
+	mean := math.Float64frombits(t.resid.Load())
+	mean += residAlpha * (pct - mean)
+	t.resid.Store(math.Float64bits(mean))
+}
+
+// AdmissionDecision is one sampler tick's verdict for one shard, kept
+// in the /debug/admission flight ring: what the twin predicted, what
+// the shard realized, and what the controller did about it.
+type AdmissionDecision struct {
+	// WhenNS is the tick time, obs.Now nanoseconds (monotonic since
+	// process start — ages, not wall-clock times).
+	WhenNS int64 `json:"when_ns"`
+	Shard  int   `json:"shard"`
+	// PredictedNS is the twin's p999 forecast made at this tick;
+	// RealizedNS the p999 measured over the interval that just ended
+	// (0 when no ops completed); ResidualPct the rolling MAPE gauge
+	// after folding this tick's pairing in.
+	PredictedNS int64   `json:"predicted_p999_ns"`
+	RealizedNS  int64   `json:"realized_p999_ns"`
+	ResidualPct float64 `json:"residual_pct"`
+	// RatePerSec is the EWMA offered arrival rate the prediction used;
+	// Backlog the standing unanswered-op count.
+	RatePerSec float64 `json:"offered_rate_per_sec"`
+	Backlog    int     `json:"backlog"`
+	// Limiting reports whether the controller granted a bounded credit
+	// budget this tick (Credits; 0 means unlimited), and ShedTotal the
+	// shard's lifetime edge-shed count after the tick.
+	Limiting  bool  `json:"limiting"`
+	Credits   int64 `json:"granted_credits"`
+	ShedTotal int64 `json:"shed_total"`
+}
+
+// admitLogCap bounds the /debug/admission ring: at the default 10ms
+// tick, 512 entries hold the last ~5s of decisions for one shard (and
+// proportionally less wall time with more shards — the ring is
+// process-wide, entries carry their shard).
+const admitLogCap = 512
+
+// admitLog is the flight-recorder-style ring of recent admission
+// decisions. The sampler appends; the debug handler snapshots.
+type admitLog struct {
+	mu   sync.Mutex
+	buf  []AdmissionDecision
+	next int
+	full bool
+}
+
+func newAdmitLog(cap int) *admitLog {
+	return &admitLog{buf: make([]AdmissionDecision, cap)}
+}
+
+func (l *admitLog) add(d AdmissionDecision) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// snapshot returns the recorded decisions, newest first.
+func (l *admitLog) snapshot() []AdmissionDecision {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]AdmissionDecision, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	l.mu.Unlock()
+	return out
 }
 
 // rateAlpha is the EWMA weight for the offered-rate estimate. One
@@ -100,6 +216,20 @@ func (s *Server) admitTick(i int, st *admitState) {
 	st.rate += rateAlpha * (inst - st.rate)
 	rate := st.rate
 
+	// Twin residual: pair the prediction made at the *previous* tick —
+	// the forecast for the interval that just ended — against the p999
+	// realized over exactly that interval (the end-to-end histogram's
+	// delta quantile). A lifetime quantile would smear every past
+	// regime into the comparison; the delta isolates this tick.
+	tw := &s.twin[i]
+	realized, haveReal := s.shardM[i].totalHist.DeltaQuantile(0.999, &st.cursor)
+	if haveReal {
+		tw.realized.Store(realized)
+		if st.lastPred > 0 && realized > 0 {
+			tw.observe(100 * math.Abs(float64(st.lastPred)-float64(realized)) / float64(realized))
+		}
+	}
+
 	// Service-curve sample: mean batch size and mean exec-phase
 	// duration over the interval's completions.
 	batches, ops := sh.Runtime().LiveBatchStats()
@@ -113,51 +243,133 @@ func (s *Server) admitTick(i int, st *admitState) {
 	st.batches, st.ops = batches, ops
 	st.execCount, st.execSum = execCount, execSum
 
-	s0, s1, ok := st.fitter.Params()
-	if !ok {
+	var (
+		pred     float64
+		backlog  int
+		credits  int64
+		limiting bool
+	)
+	if s0, s1, ok := st.fitter.Params(); !ok {
 		// Cold start: no trustworthy curve yet, admit everything. The
 		// SaturationTimeout backstop still applies.
 		ctrl.SetPredicted(0)
 		ctrl.Refill(0, false)
-		return
+	} else {
+		model := sim.Model{
+			Workers: sh.Runtime().Workers(),
+			SetupNS: s0, PerOpNS: s1,
+			Tail: liveTail,
+		}
+		// Standing backlog: every op offered to this shard and not yet
+		// answered — the pump queue, the pending array, AND the ops parked
+		// at the edge on a full queue. Counting only the pump depth would
+		// blind the twin to saturation parks, which are exactly the
+		// latency it exists to predict (a parked op drains through the
+		// same service curve, it just waits at the door first).
+		_, comp, _ := sh.Books()
+		backlog = int(offered - comp - ctrl.Shed() -
+			s.edge[i].rejected.Load() - s.edge[i].abandoned.Load())
+		if backlog < 0 {
+			backlog = 0
+		}
+		pred = model.PredictP999NS(rate, backlog)
+		if pred > float64(1<<62) { // +Inf past capacity: clamp for the gauge
+			pred = float64(1 << 62)
+		}
+		ctrl.SetPredicted(int64(pred))
+		if pred <= float64(ctrl.SLO()) {
+			ctrl.Refill(0, false)
+		} else {
+			// Over SLO: invert the curve into the largest sustainable rate
+			// and grant exactly one tick's worth of it.
+			target := model.MaxAdmissibleRate(float64(ctrl.SLO()), backlog)
+			if max := capFrac * model.CapacityOpsPerSec(); target > max {
+				target = max
+			}
+			credits = int64(target * s.cfg.AdmitInterval.Seconds())
+			// Floor at one batch row: starving the shard entirely would
+			// stop the completions that refit the twin and end the
+			// brownout.
+			if min := int64(model.Workers); credits < min {
+				credits = min
+			}
+			limiting = true
+			ctrl.Refill(credits, true)
+		}
 	}
-	model := sim.Model{
-		Workers: sh.Runtime().Workers(),
-		SetupNS: s0, PerOpNS: s1,
-		Tail: liveTail,
+	// Only non-limiting predictions are pairable for the residual: a
+	// limiting tick's prediction prices the load it is about to shed —
+	// a counterfactual the realized histogram (of admitted ops only)
+	// never tests, and near capacity it is the clamped +Inf sentinel,
+	// which would blow the MAPE into the trillions of percent.
+	if limiting {
+		st.lastPred = 0
+	} else {
+		st.lastPred = int64(pred)
 	}
-	// Standing backlog: every op offered to this shard and not yet
-	// answered — the pump queue, the pending array, AND the ops parked
-	// at the edge on a full queue. Counting only the pump depth would
-	// blind the twin to saturation parks, which are exactly the
-	// latency it exists to predict (a parked op drains through the
-	// same service curve, it just waits at the door first).
-	_, comp, _ := sh.Books()
-	backlog := int(offered - comp - ctrl.Shed() -
-		s.edge[i].rejected.Load() - s.edge[i].abandoned.Load())
-	if backlog < 0 {
-		backlog = 0
-	}
-	pred := model.PredictP999NS(rate, backlog)
-	if pred > float64(1<<62) { // +Inf past capacity: clamp for the gauge
-		pred = float64(1 << 62)
-	}
-	ctrl.SetPredicted(int64(pred))
-	if pred <= float64(ctrl.SLO()) {
-		ctrl.Refill(0, false)
-		return
-	}
-	// Over SLO: invert the curve into the largest sustainable rate and
-	// grant exactly one tick's worth of it.
-	target := model.MaxAdmissibleRate(float64(ctrl.SLO()), backlog)
-	if max := capFrac * model.CapacityOpsPerSec(); target > max {
-		target = max
-	}
-	credits := int64(target * s.cfg.AdmitInterval.Seconds())
-	// Floor at one batch row: starving the shard entirely would stop
-	// the completions that refit the twin and end the brownout.
-	if min := int64(model.Workers); credits < min {
-		credits = min
-	}
-	ctrl.Refill(credits, true)
+	s.admitLog.add(AdmissionDecision{
+		WhenNS:      obs.Now(),
+		Shard:       i,
+		PredictedNS: int64(pred),
+		RealizedNS:  realized,
+		ResidualPct: tw.residualPct(),
+		RatePerSec:  rate,
+		Backlog:     backlog,
+		Limiting:    limiting,
+		Credits:     credits,
+		ShedTotal:   ctrl.Shed(),
+	})
+}
+
+// admissionDebug is the /debug/admission JSON document.
+type admissionDebug struct {
+	Enabled   bool                `json:"enabled"`
+	SLONS     int64               `json:"slo_ns"`
+	PerShard  []admissionShard    `json:"per_shard"`
+	Decisions []AdmissionDecision `json:"decisions"`
+}
+
+// admissionShard is one shard's twin-accuracy summary in the debug
+// document.
+type admissionShard struct {
+	Shard           int     `json:"shard"`
+	PredictedP999NS int64   `json:"predicted_p999_ns"`
+	RealizedP999NS  int64   `json:"realized_p999_ns"`
+	ResidualPct     float64 `json:"residual_pct"`
+	ResidualSamples int64   `json:"residual_samples"`
+	ShedTotal       int64   `json:"shed_total"`
+}
+
+// AdmissionDebugHandler returns the /debug/admission handler: the
+// per-shard twin-accuracy summary plus the recent-decision ring,
+// newest first. 404 when admission control is off (no sampler, so
+// nothing to report).
+func (s *Server) AdmissionDebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if s.admission == nil {
+			http.Error(w, "admission control disabled (start with -slo)", http.StatusNotFound)
+			return
+		}
+		doc := admissionDebug{
+			Enabled:   true,
+			SLONS:     s.cfg.SLO.Nanoseconds(),
+			PerShard:  make([]admissionShard, len(s.admission)),
+			Decisions: s.admitLog.snapshot(),
+		}
+		for i := range doc.PerShard {
+			tw := &s.twin[i]
+			doc.PerShard[i] = admissionShard{
+				Shard:           i,
+				PredictedP999NS: s.admission[i].Predicted(),
+				RealizedP999NS:  tw.realized.Load(),
+				ResidualPct:     tw.residualPct(),
+				ResidualSamples: tw.samples.Load(),
+				ShedTotal:       s.admission[i].Shed(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 }

@@ -288,6 +288,54 @@ func BenchmarkServerBatchDelay(b *testing.B) {
 	b.ReportMetric(res.BatchDelay.Mean(), "delay-mean-ns")
 }
 
+// BenchmarkServerConformance prices the always-on conformance monitor
+// on the hot serving path. The monitor attaches unconditionally at
+// Start, so this is the ordinary pipelined loopback workload with the
+// land-path RecordBatch (clock reads, min-pending scan, landings ring
+// walk) inside the timed region; the nightly 1.5x gate on this bench
+// is what keeps "always-on" honest if the monitor ever grows a cost.
+// The reported gauges double as a liveness check that the monitor
+// actually saw the run.
+func BenchmarkServerConformance(b *testing.B) {
+	const conns = 16
+	s, err := server.Start(server.Config{Workers: 4, Seed: 44})
+	if err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	defer s.Shutdown()
+
+	ops := b.N / conns
+	if ops == 0 {
+		ops = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr:     s.Addr().String(),
+		Conns:    conns,
+		Ops:      ops,
+		Window:   8,
+		DS:       server.DSSkiplist,
+		ReadFrac: 0.5,
+		KeySpace: 1 << 14,
+		Seed:     44,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatalf("loadgen: %v", err)
+	}
+	if res.Errors != 0 {
+		b.Fatalf("%d ops rejected", res.Errors)
+	}
+	st := s.Snapshot()
+	if st.ConformMaxLandings == 0 || st.ConformHeadroom <= 0 {
+		b.Fatal("conformance monitor recorded nothing")
+	}
+	b.ReportMetric(res.OpsPerSec, "ops/s")
+	b.ReportMetric(st.ConformHeadroom, "headroom")
+	b.ReportMetric(float64(st.ConformMaxLandings), "max-landings")
+}
+
 // BenchmarkServerOverload measures the serving edge past saturation.
 // The hashmap's batch cost is inflated to a known 50µs (as in the
 // brownout tests) so capacity is fixed at shards × workers/cost =

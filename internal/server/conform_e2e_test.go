@@ -1,0 +1,183 @@
+package server_test
+
+// The live-conformance chaos witness (DESIGN.md §16): a 4-shard server
+// with admission control runs a mixed warm-up + sustained closed-loop
+// phase, and afterwards every shard's always-on conformance monitor
+// must report the theory intact — Lemma 2 landings at most 2, zero
+// envelope violations, Theorem 5.4 headroom at most 1.0 — while the
+// twin-residual telemetry stays finite and the /debug/admission flight
+// recorder holds real decisions. The name's TestChaos prefix enrolls
+// it in the CI chaos matrix (ci.yml runs it under every
+// BATCHERD_POLICY), so the conformance claims are checked across the
+// policy matrix, not just the default launch rule.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"batcher/internal/loadgen"
+	"batcher/internal/server"
+)
+
+func TestChaosConformanceEnvelope(t *testing.T) {
+	ops := 600
+	if testing.Short() {
+		ops = 200
+	}
+	// Small but real per-batch cost: the fitters can recover the curve,
+	// so the twin makes nonzero predictions and residual pairing runs.
+	s := brownoutServer(t, 4, 500*time.Millisecond, 500*time.Microsecond)
+	defer s.Shutdown()
+	addr := s.Addr().String()
+
+	// Warm-up primes each shard's fitter under capacity (uniform keys
+	// reach all four shards), exactly as the brownout witness does.
+	warm, err := loadgen.Run(loadgen.Workload{
+		Addr: addr, Conns: 2, Ops: 60, RatePerSec: 400,
+		DS: server.DSHashmap, KeySpace: 1 << 14, Seed: 2101,
+	})
+	if err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if warm.Errors != 0 {
+		t.Fatalf("warm-up shed %d ops under capacity", warm.Errors)
+	}
+
+	// Sustained closed-loop pressure: windowed pipelining keeps every
+	// shard's pump busy so batches form, land, and the monitors see a
+	// dense stream of spans and gaps.
+	res, err := loadgen.Run(loadgen.Workload{
+		Addr: addr, Conns: 8, Ops: ops, Window: 16,
+		DS: server.DSHashmap, KeySpace: 1 << 14, Seed: 2102,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Responses != res.Sent {
+		t.Fatalf("responses %d != sent %d", res.Responses, res.Sent)
+	}
+
+	// Snapshot while the windows are still warm (default window 10s).
+	st := s.Snapshot()
+	if got := len(st.PerShard); got != 4 {
+		t.Fatalf("PerShard has %d entries, want 4", got)
+	}
+	var busyShards int
+	var wantHeadroom float64
+	var wantLandings int64
+	for _, ss := range st.PerShard {
+		c := ss.Conformance
+		if c.Batches == 0 {
+			continue // an idle shard has nothing to conform to
+		}
+		busyShards++
+		// Lemma 2: no op waited through more than two landings, and the
+		// lifetime violation counter (which never rotates out) is clean.
+		if c.MaxLandings < 1 || c.MaxLandings > 2 {
+			t.Errorf("shard %d max_landings = %d, want 1..2 (Lemma 2)", ss.Shard, c.MaxLandings)
+		}
+		if c.Violations != 0 {
+			t.Errorf("shard %d recorded %d envelope violations", ss.Shard, c.Violations)
+		}
+		// Theorem 5.4: measured windowed batch-delay max within the
+		// 2·(span+gap) envelope.
+		if c.Headroom <= 0 || c.Headroom > 1.0 {
+			t.Errorf("shard %d headroom = %v, want in (0, 1.0] (Theorem 5.4)", ss.Shard, c.Headroom)
+		}
+		if c.SpanMaxNS <= 0 || c.DelayMaxNS <= 0 {
+			t.Errorf("shard %d span=%d delay=%d, want both > 0 after traffic",
+				ss.Shard, c.SpanMaxNS, c.DelayMaxNS)
+		}
+		// Twin residual: finite and nonnegative, always — zero before the
+		// first paired tick is fine, NaN/Inf never is.
+		if math.IsNaN(ss.TwinResidualPct) || math.IsInf(ss.TwinResidualPct, 0) || ss.TwinResidualPct < 0 {
+			t.Errorf("shard %d twin_residual_pct = %v, want finite and >= 0", ss.Shard, ss.TwinResidualPct)
+		}
+		// A sane magnitude, not a sentinel: pairing a clamped past-
+		// capacity forecast would read in the trillions of percent.
+		if ss.TwinResidualPct > 1e5 {
+			t.Errorf("shard %d twin_residual_pct = %v%%: unpairable forecast leaked into the gauge",
+				ss.Shard, ss.TwinResidualPct)
+		}
+		if ss.MeasuredP999NS < 0 {
+			t.Errorf("shard %d measured_p999_ns = %d negative", ss.Shard, ss.MeasuredP999NS)
+		}
+		if ss.Conformance.Headroom > wantHeadroom {
+			wantHeadroom = ss.Conformance.Headroom
+		}
+		if ss.Conformance.MaxLandings > wantLandings {
+			wantLandings = ss.Conformance.MaxLandings
+		}
+	}
+	if busyShards != 4 {
+		t.Errorf("only %d/4 shards saw batches under uniform keys", busyShards)
+	}
+	// The global stats fields are the worst-across-shards rollups.
+	if st.ConformHeadroom != wantHeadroom {
+		t.Errorf("global headroom %v != worst shard %v", st.ConformHeadroom, wantHeadroom)
+	}
+	if st.ConformMaxLandings != wantLandings {
+		t.Errorf("global max_landings %d != worst shard %d", st.ConformMaxLandings, wantLandings)
+	}
+	if math.IsNaN(st.TwinResidualPct) || math.IsInf(st.TwinResidualPct, 0) {
+		t.Errorf("global twin_residual_pct = %v", st.TwinResidualPct)
+	}
+
+	// The admission flight recorder served real decisions over HTTP.
+	srv := httptest.NewServer(s.AdmissionDebugHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/admission returned %d with admission on", resp.StatusCode)
+	}
+	var dbg struct {
+		Enabled  bool  `json:"enabled"`
+		SLONS    int64 `json:"slo_ns"`
+		PerShard []struct {
+			Shard       int     `json:"shard"`
+			ResidualPct float64 `json:"residual_pct"`
+		} `json:"per_shard"`
+		Decisions []server.AdmissionDecision `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatalf("/debug/admission decode: %v", err)
+	}
+	if !dbg.Enabled || dbg.SLONS != (500*time.Millisecond).Nanoseconds() {
+		t.Fatalf("debug doc enabled=%v slo=%d", dbg.Enabled, dbg.SLONS)
+	}
+	if len(dbg.PerShard) != 4 {
+		t.Fatalf("debug doc has %d shards, want 4", len(dbg.PerShard))
+	}
+	if len(dbg.Decisions) == 0 {
+		t.Fatal("no admission decisions recorded after a multi-second run")
+	}
+	for i, d := range dbg.Decisions {
+		if d.Shard < 0 || d.Shard >= 4 {
+			t.Fatalf("decision %d has shard %d", i, d.Shard)
+		}
+		if i > 0 && d.WhenNS > dbg.Decisions[i-1].WhenNS {
+			t.Fatalf("decisions not newest-first at %d", i)
+		}
+		if math.IsNaN(d.ResidualPct) || math.IsInf(d.ResidualPct, 0) {
+			t.Fatalf("decision %d residual %v", i, d.ResidualPct)
+		}
+	}
+
+	s.Shutdown()
+	auditBrownoutBooks(t, s.Snapshot())
+	t.Logf("conformance: busy=%d headroom=%.3f landings=%d residual=%.1f%% decisions=%d",
+		busyShards, st.ConformHeadroom, st.ConformMaxLandings, st.TwinResidualPct, len(dbg.Decisions))
+	for _, ss := range st.PerShard {
+		c := ss.Conformance
+		t.Logf("shard %d: batches=%d span_max=%v gap_max=%v delay_max=%v landings=%d headroom=%.3f residual=%.1f%%",
+			ss.Shard, c.Batches, time.Duration(c.SpanMaxNS), time.Duration(c.GapMaxNS),
+			time.Duration(c.DelayMaxNS), c.MaxLandings, c.Headroom, ss.TwinResidualPct)
+	}
+}

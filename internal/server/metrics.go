@@ -131,6 +131,47 @@ func (s *Server) buildMetrics() {
 		sm.delayHist = reg.Histogram("batcherd_batch_delay_ns",
 			"per-operation batch delay: pending-array arrival to batch landing (Theorem 5.4's per-op wait)",
 			[]obs.Label{{Name: "shard", Value: label}})
+		sm.totalHist = reg.Histogram("batcherd_op_total_ns",
+			"end-to-end operation latency: conn read done to response handoff",
+			[]obs.Label{{Name: "shard", Value: label}})
+
+		// Live conformance monitor (DESIGN.md §16): the shard runtime
+		// feeds one RecordBatch per landed batch and these gauges check
+		// the paper's guarantees continuously — headroom > 1 means the
+		// Theorem 5.4 envelope was exceeded, max_landings > 2 breaks
+		// Lemma 2. Always on: the per-batch cost is two clock reads and
+		// an O(P + ring) scan, and a guarantee nobody watches is not a
+		// guarantee.
+		sm.conform = obs.NewConform(0)
+		sh.Runtime().SetConformance(sm.conform)
+		conform := sm.conform
+		reg.GaugeFunc("batcherd_conformance_headroom",
+			"windowed max batch delay over the Theorem 5.4 envelope 2*(span+gap); >1 breaks the bound",
+			[]obs.Label{{Name: "shard", Value: label}}, conform.Headroom)
+		reg.GaugeFunc("batcherd_conformance_span_max_ns",
+			"windowed max batch span (launch to land)",
+			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+				return float64(conform.SpanMaxNS())
+			})
+		reg.GaugeFunc("batcherd_conformance_gap_max_ns",
+			"windowed max inter-batch gap (previous land to next launch)",
+			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+				return float64(conform.GapMaxNS())
+			})
+		reg.GaugeFunc("batcherd_conformance_delay_max_ns",
+			"windowed max per-op batch delay (pending publish to land)",
+			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+				return float64(conform.DelayMaxNS())
+			})
+		reg.GaugeFunc("batcherd_conformance_max_landings",
+			"windowed max batch landings inside any op's pending wait; >2 breaks Lemma 2",
+			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
+				return float64(conform.MaxLandings())
+			})
+		reg.CounterFunc("batcherd_conformance_violations_total",
+			"batches whose landings count exceeded Lemma 2's bound of two (lifetime)",
+			[]obs.Label{{Name: "shard", Value: label}}, conform.Violations)
+
 		reg.GaugeFunc("batcherd_queue_depth",
 			"pump ingress queue depth",
 			[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
@@ -154,6 +195,10 @@ func (s *Server) buildMetrics() {
 				[]obs.Label{{Name: "shard", Value: label}}, func() float64 {
 					return float64(ctrl.SLO())
 				})
+			tw := &s.twin[i]
+			reg.GaugeFunc("batcherd_twin_residual_pct",
+				"rolling mean absolute percent error of the twin's p999 prediction vs the realized per-tick p999",
+				[]obs.Label{{Name: "shard", Value: label}}, tw.residualPct)
 		}
 	}
 	if s.cfg.SlowK >= 0 {

@@ -109,6 +109,47 @@ func TestMetricsScrape(t *testing.T) {
 	samples := promSamples(t, string(body))
 	st := s.Snapshot()
 
+	// Every registered family must appear in the scrape — a registered
+	// gauge that never renders is a silent observability hole. Histogram
+	// families render as _bucket/_sum/_count samples.
+	for _, fam := range s.Metrics().Names() {
+		found := false
+		for key := range samples {
+			if key == fam || strings.HasPrefix(key, fam+"{") ||
+				strings.HasPrefix(key, fam+"_bucket") ||
+				strings.HasPrefix(key, fam+"_sum") ||
+				strings.HasPrefix(key, fam+"_count") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registered family %q missing from the scrape", fam)
+		}
+	}
+	// The conformance families are always-on (no SLO configured here).
+	for _, fam := range []string{
+		"batcherd_conformance_headroom",
+		"batcherd_conformance_span_max_ns",
+		"batcherd_conformance_gap_max_ns",
+		"batcherd_conformance_delay_max_ns",
+		"batcherd_conformance_max_landings",
+		"batcherd_conformance_violations_total",
+		"batcherd_op_total_ns",
+	} {
+		if _, ok := samples[fam+`{shard="0"}`]; !ok {
+			if _, ok := samples[fam+`_count{shard="0"}`]; !ok {
+				t.Errorf("conformance family %q has no shard-0 sample", fam)
+			}
+		}
+	}
+	if v := samples[`batcherd_conformance_violations_total{shard="0"}`]; v != 0 {
+		t.Errorf("conformance violations = %v on a healthy run", v)
+	}
+	if h := samples[`batcherd_conformance_headroom{shard="0"}`]; h <= 0 || h > 1.0 {
+		t.Errorf("conformance headroom = %v, want in (0, 1.0]", h)
+	}
+
 	if got := samples["batcherd_ops_accepted_total"]; got != float64(st.Accepted) || got < conns*per {
 		t.Fatalf("accepted = %v, snapshot %d, sent %d", got, st.Accepted, conns*per)
 	}

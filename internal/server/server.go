@@ -160,6 +160,13 @@ type Server struct {
 	admission []*sched.AdmissionController
 	edge      []edgeCounters
 
+	// Twin-residual telemetry (admission.go): per-shard rolling
+	// prediction error and the flight-recorder-style ring of recent
+	// admission decisions behind /debug/admission. Both nil/empty when
+	// admission control is off.
+	twin     []twinShardStats
+	admitLog *admitLog
+
 	curConns  atomic.Int64
 	accepted  atomic.Int64 // operations admitted into a shard pump (all shards)
 	rejected  atomic.Int64 // operations refused (bad op, saturation cap, shutdown)
@@ -189,13 +196,17 @@ type Server struct {
 
 // shardMetrics is one shard's histogram set (metrics.go): the batch
 // size distribution its runtime observes, one histogram per lifecycle
-// phase duration, and the derived batch-delay histogram — Theorem 5.4's
+// phase duration, the derived batch-delay histogram — Theorem 5.4's
 // per-op wait, auditable per shard because Invariants 1 and 2 hold per
-// shard.
+// shard — the end-to-end (read-to-done) latency histogram the twin
+// residual reads its realized p999 from, and the live conformance
+// monitor fed by the shard runtime's batch-land path.
 type shardMetrics struct {
 	batchHist *obs.Histogram
 	phaseHist [obs.NumPhases - 1]*obs.Histogram
 	delayHist *obs.Histogram
+	totalHist *obs.Histogram
+	conform   *obs.Conform
 }
 
 // request is one in-flight operation: the OpRecord the scheduler
@@ -292,6 +303,8 @@ func Start(cfg Config) (*Server, error) {
 		for i := range s.admission {
 			s.admission[i] = sched.NewAdmissionController(cfg.SLO)
 		}
+		s.twin = make([]twinShardStats, cfg.Shards)
+		s.admitLog = newAdmitLog(admitLogCap)
 		policyFor = func(i int) sched.BatchPolicy {
 			return policy.Shed{Inner: cfg.Policy, Ctrl: s.admission[i]}
 		}
@@ -535,6 +548,7 @@ func (s *Server) complete(shardID int, op *sched.OpRecord) {
 		h.Observe(durs[i])
 	}
 	sm.delayHist.Observe(obs.BatchDelay(op.Phases))
+	sm.totalHist.Observe(op.Phases[obs.PhaseDone] - op.Phases[obs.PhaseRead])
 	if s.flight != nil {
 		s.flight.Offer(obs.SlowOp{
 			TotalNS:    op.Phases[obs.PhaseDone] - op.Phases[obs.PhaseRead],

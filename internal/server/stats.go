@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"batcher/internal/obs"
 	"batcher/internal/sched"
 )
 
@@ -49,6 +50,17 @@ type Stats struct {
 	// the last sampler tick.
 	AdmitSLONS           int64 `json:"admit_slo_ns"`
 	AdmitPredictedP999NS int64 `json:"admit_predicted_p999_ns"`
+	// TwinResidualPct is the worst per-shard rolling mean absolute
+	// percent error of the twin's p999 predictions (0 with admission
+	// off or before the first paired tick).
+	TwinResidualPct float64 `json:"twin_residual_pct"`
+	// ConformHeadroom is the worst per-shard Theorem 5.4 headroom
+	// gauge (measured windowed batch-delay max over the envelope
+	// 2·(span+gap); >1 means some shard exceeded the bound), and
+	// ConformMaxLandings the worst per-shard Lemma 2 landings count
+	// (>2 breaks the lemma). Both from the live conformance monitors.
+	ConformHeadroom    float64 `json:"conform_headroom"`
+	ConformMaxLandings int64   `json:"conform_max_landings"`
 	// DecodeErrors counts connections dropped for malformed frames
 	// (oversized length prefixes, short request bodies).
 	DecodeErrors int64 `json:"decode_errors"`
@@ -117,8 +129,16 @@ type ShardStats struct {
 	Rejected  int64 `json:"rejected"`
 	Abandoned int64 `json:"abandoned"`
 	// PredictedP999NS is this shard's twin prediction at the last
-	// admission sampler tick (0 with admission off or cold).
-	PredictedP999NS int64 `json:"predicted_p999_ns"`
+	// admission sampler tick (0 with admission off or cold);
+	// MeasuredP999NS the p999 realized over that tick's interval, and
+	// TwinResidualPct the rolling mean absolute percent error between
+	// the two (both 0 with admission off).
+	PredictedP999NS int64   `json:"predicted_p999_ns"`
+	MeasuredP999NS  int64   `json:"measured_p999_ns"`
+	TwinResidualPct float64 `json:"twin_residual_pct"`
+	// Conformance is the live Theorem 5.4 / Lemma 2 monitor's windowed
+	// gauges for this shard (DESIGN.md §16).
+	Conformance obs.ConformSnapshot `json:"conformance"`
 	// Batches/BatchedOps/MeanBatch describe the shard runtime's
 	// executed batches; OpsPerSec is its pump-completed throughput over
 	// the server's uptime — the same basis as the global figure, which
@@ -182,11 +202,23 @@ func (s *Server) Snapshot() Stats {
 		if s.admission != nil {
 			ss.Shed = s.admission[i].Shed()
 			ss.PredictedP999NS = s.admission[i].Predicted()
+			ss.MeasuredP999NS = s.twin[i].realized.Load()
+			ss.TwinResidualPct = s.twin[i].residualPct()
 		}
+		ss.Conformance = s.shardM[i].conform.Snapshot()
 		st.Offered += ss.Offered
 		st.Shed += ss.Shed
 		if ss.PredictedP999NS > st.AdmitPredictedP999NS {
 			st.AdmitPredictedP999NS = ss.PredictedP999NS
+		}
+		if ss.TwinResidualPct > st.TwinResidualPct {
+			st.TwinResidualPct = ss.TwinResidualPct
+		}
+		if ss.Conformance.Headroom > st.ConformHeadroom {
+			st.ConformHeadroom = ss.Conformance.Headroom
+		}
+		if ss.Conformance.MaxLandings > st.ConformMaxLandings {
+			st.ConformMaxLandings = ss.Conformance.MaxLandings
 		}
 		if b > 0 {
 			ss.MeanBatch = float64(o) / float64(b)
